@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the experiment once under pytest-benchmark (the interesting number
+is the *result*, not the harness wall-clock), prints the rendered
+table, and asserts the paper's shape claims.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,25 @@
+"""Bench F5b — Figure 5b: Linux utilities via fork/ptrace/execve.
+
+Paper shape asserted: utility overheads are small (geomean 0.82% in the
+paper), with dd among the lowest — few branch instructions and few
+syscalls per byte moved.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5b
+
+
+def test_fig5b_utility_overhead(benchmark):
+    result = run_once(benchmark, fig5b.run)
+    print("\n" + fig5b.format_table(result))
+
+    rows = {row.utility: row for row in result.rows}
+    assert set(rows) == {"tar", "dd", "make", "scp"}
+    for row in result.rows:
+        assert row.overhead < 0.60
+        assert row.checks >= 1  # endpoints did fire through the harness
+    # dd is the cheapest workload to protect (paper's stand-out point).
+    assert rows["dd"].overhead == min(r.overhead for r in result.rows)
+    assert rows["dd"].overhead < 0.05
+    assert result.geomean_overhead < 0.25

@@ -1,0 +1,24 @@
+"""Bench F5d — Figure 5d: fuzzing-training benefit.
+
+Paper shape asserted: as the corpus grows, the runtime high-credit hit
+ratio rises monotonically (modulo small prefixes) and ends high — the
+paper reaches >97% after long campaigns; the miniature campaign must
+clear 90%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5d
+
+
+def test_fig5d_training_curve(benchmark):
+    result = run_once(benchmark, fig5d.run, fuzz_budget=200, sessions=5)
+    print("\n" + fig5d.format_table(result))
+
+    assert len(result.points) >= 3
+    ratios = [p.cred_ratio for p in result.points]
+    # The curve grows with the corpus...
+    assert ratios[0] < ratios[-1]
+    assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    # ...and the full corpus trains the benchmark path thoroughly.
+    assert result.final_cred_ratio > 0.90

@@ -1,0 +1,20 @@
+"""Bench S2 — §2: IPT full-decode slowdown on the SPEC-like suite.
+
+Paper: geometric mean ~230x, 8/12 benchmarks above 500x.  Asserted
+shape: decoding is two orders of magnitude above execution for every
+benchmark and vastly above the tracing cost.
+"""
+
+from conftest import run_once
+
+from repro.experiments import sec2_decode
+
+
+def test_decode_overhead(benchmark):
+    result = run_once(benchmark, sec2_decode.run, scale=1)
+    print("\n" + sec2_decode.format_table(result))
+
+    assert result.geomean_x > 50, "decoding must be ~100x+ execution"
+    assert result.above_100x >= 8, "most benchmarks far above 100x"
+    # Decode/trace asymmetry: the §3.1 obstacle in one number.
+    assert result.geomean_x > 1000 * result.trace_geomean

@@ -1,0 +1,24 @@
+"""Bench H1 — §7.2.4: benefits from the suggested hardware extensions.
+
+Paper shape asserted: decoding contributes more than 30% of the server
+monitoring overhead, so the dedicated hardware decoder removes most of
+it; the combined extensions cut the geomean overhead by more than half.
+"""
+
+from conftest import run_once
+
+from repro.experiments import hwext_breakdown
+
+
+def test_hwext_projection(benchmark):
+    result = run_once(benchmark, hwext_breakdown.run, sessions=8)
+    print("\n" + hwext_breakdown.format_table(result))
+
+    assert len(result.rows) == 4
+    for row in result.rows:
+        # "decoding contributes to a large fraction of the overhead
+        # (more than 30% for server applications)".
+        assert row.decode_share > 0.30
+        assert row.hw_decoder_overhead < row.software_overhead
+        assert row.all_ext_overhead < row.hw_decoder_overhead
+    assert result.geomean_hw_decoder < 0.6 * result.geomean_software

@@ -1,0 +1,30 @@
+"""Bench A1 — §7.1.2: attack detection across defenses.
+
+Paper shape asserted: FlowGuard detects all four attacks (ROP, SROP,
+return-to-lib, history flushing); the LBR-window heuristics miss at
+least one of them (window pollution / flushing), which is exactly the
+gap FlowGuard's 30+-TIP ITC check closes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import security
+
+
+def test_security_matrix(benchmark):
+    result = run_once(benchmark, security.run)
+    print("\n" + security.format_table(result))
+
+    for attack in security.ATTACKS:
+        assert result.detected[attack]["flowguard"], (
+            f"FlowGuard missed {attack}"
+        )
+    # The small-window baselines cannot match full coverage.
+    lbr_defenses = ("kbouncer", "ropecker", "patharmor")
+    missed = sum(
+        1
+        for attack in security.ATTACKS
+        for defense in lbr_defenses
+        if not result.detected[attack][defense]
+    )
+    assert missed >= 1, "LBR-window heuristics should show gaps"

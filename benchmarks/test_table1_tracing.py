@@ -1,0 +1,27 @@
+"""Bench T1 — Table 1: hardware tracing-mechanism comparison.
+
+Paper shape asserted: BTS tracing is tens-of-x, LBR under 1%, IPT a few
+percent; only IPT pays a (large) decoding cost.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_tracing_comparison(benchmark):
+    result = run_once(benchmark, table1.run, scale=1)
+    print("\n" + table1.format_table(result))
+
+    bts, lbr, ipt = result.rows
+    assert bts.name == "BTS" and lbr.name == "LBR" and ipt.name == "IPT"
+    # BTS tracing is orders of magnitude above IPT (paper: ~50x vs ~3%).
+    assert bts.trace_overhead > 10
+    assert bts.trace_overhead > 100 * ipt.trace_overhead
+    # LBR tracing is essentially free (<1%).
+    assert lbr.trace_overhead < 0.01
+    # IPT tracing is low single-digit percent.
+    assert ipt.trace_overhead < 0.10
+    # Only IPT needs decoding, and it is expensive.
+    assert bts.decode_overhead == 0 and lbr.decode_overhead == 0
+    assert ipt.decode_overhead > 10

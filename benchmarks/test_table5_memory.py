@@ -1,0 +1,24 @@
+"""Bench T5 — Table 5: ITC-CFG memory and generation time.
+
+Paper shape asserted: memory in the tens-of-KB-to-MB range scaling with
+application complexity, generation dominated by the shared libraries
+(the >90%-on-libc observation motivating per-library CFG caching).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5_memory_and_time(benchmark):
+    result = run_once(benchmark, table5.run)
+    print("\n" + table5.format_table(result))
+
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row.memory_kib > 1.0
+        assert row.generation_seconds < 60
+        # Libraries dominate the analysed code (paper: >90% of time on
+        # libraries; here the shared libsim is a large block share).
+        assert row.library_fraction > 0.4
+    assert result.topa_kib_per_core == 16.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Prints Table 1, the §2 decode measurement, Table 4, Table 5, Figures
+5a-5d, the §7.2.2 micro-benchmark, the §7.2.4 hardware-extension
+projection and the §7.1.2 attack matrix.  Takes a minute or two.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    hwext_breakdown,
+    micro,
+    sec2_decode,
+    security,
+    table1,
+    table4,
+    table5,
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    suite = ("perlbench", "mcf", "h264ref", "lbm") if quick else \
+        table1.DEFAULT_SUITE
+    sessions = 4 if quick else 8
+
+    stages = [
+        ("Table 1", lambda: table1.format_table(table1.run(suite=suite))),
+        ("§2 decode overhead",
+         lambda: sec2_decode.format_table(sec2_decode.run(suite=suite))),
+        ("Table 4", lambda: table4.format_table(table4.run())),
+        ("Table 5", lambda: table5.format_table(table5.run())),
+        ("Figure 5a",
+         lambda: fig5a.format_table(fig5a.run(sessions=sessions))),
+        ("Figure 5b", lambda: fig5b.format_table(fig5b.run())),
+        ("Figure 5c",
+         lambda: fig5c.format_table(fig5c.run(suite=suite))),
+        ("Figure 5d",
+         lambda: fig5d.format_table(
+             fig5d.run(fuzz_budget=100 if quick else 300))),
+        ("§7.2.2 micro", lambda: micro.format_table(micro.run())),
+        ("§7.2.4 hardware extensions",
+         lambda: hwext_breakdown.format_table(
+             hwext_breakdown.run(sessions=sessions))),
+        ("§7.1.2 attacks",
+         lambda: security.format_table(security.run())),
+    ]
+    for label, stage in stages:
+        start = time.perf_counter()
+        output = stage()
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 70}\n{output}\n[{label}: {elapsed:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""FlowGuard reproduction.
+
+A full-system Python reproduction of "Transparent and Efficient CFI
+Enforcement with Intel Processor Trace" (HPCA 2017).  The package is
+organised bottom-up:
+
+- :mod:`repro.isa` / :mod:`repro.cpu` — a byte-encoded instruction set and
+  an interpreter that retires change-of-flow (CoFI) events.
+- :mod:`repro.binary` / :mod:`repro.lang` — modules, a loader with
+  PLT/GOT/VDSO dynamic linking, and a mini structured-language compiler.
+- :mod:`repro.osmodel` — a kernel model: processes with CR3, a syscall
+  table that can be intercepted, signals, ptrace.
+- :mod:`repro.ipt` — the Intel Processor Trace hardware model: packetizer,
+  ToPA output buffers, RTIT MSR configuration, and the fast (packet-layer)
+  and full (instruction-flow-layer) decoders.
+- :mod:`repro.hardware` — BTS and LBR, the other tracing mechanisms the
+  paper compares against.
+- :mod:`repro.analysis` / :mod:`repro.itccfg` — conservative O-CFG
+  construction and the IPT-compatible ITC-CFG with credit labels.
+- :mod:`repro.fuzz` — the AFL-like coverage-oriented trainer.
+- :mod:`repro.monitor` — the FlowGuard runtime: syscall endpoints, fast
+  path, slow path (shadow stack + fine-grained forward edges).
+- :mod:`repro.defenses`, :mod:`repro.attacks`, :mod:`repro.workloads`,
+  :mod:`repro.experiments` — baselines, exploits, applications and the
+  table/figure harnesses.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""Static binary analysis: conservative O-CFG construction (§4.1).
+
+Mirrors the paper's Dyninst-plugin pipeline:
+
+- per-module disassembly into basic blocks,
+- intra-module direct edges (jumps, conditional branches, calls,
+  fall-throughs),
+- TypeArmor-style arity matching to restrict indirect-call targets,
+- call/return matching (returns target the addresses right after call
+  sites), with tail-call closure propagation,
+- inter-module edges through PLT indirect jumps and VDSO precedence,
+- the AIA (Average Indirect targets Allowed) metric.
+
+The CFG is *conservative*: every target set over-approximates runtime
+behaviour, so checking against it can never yield a false positive.
+"""
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, Edge, EdgeKind
+from repro.analysis.build import CFGBuilder, build_ocfg
+from repro.analysis.discover import (
+    DiscoveredFunctions,
+    discover_functions,
+    verify_against_ground_truth,
+)
+from repro.analysis.metrics import (
+    aia_fine,
+    aia_itc,
+    aia_itc_with_tnt,
+    aia_ocfg,
+    flowguard_aia,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFGBuilder",
+    "ControlFlowGraph",
+    "DiscoveredFunctions",
+    "Edge",
+    "EdgeKind",
+    "aia_fine",
+    "aia_itc",
+    "aia_itc_with_tnt",
+    "aia_ocfg",
+    "build_ocfg",
+    "discover_functions",
+    "flowguard_aia",
+    "verify_against_ground_truth",
+]

@@ -1,0 +1,27 @@
+"""Control-flow hijacking attacks against the nginx analogue (§7.1.2).
+
+The adversary model matches §3.3: a remote attacker who knows everything
+about the application (no ASLR assumed), constructing elaborate inputs
+against the implanted Content-Length vulnerability.  Both attack routes
+end the same way the paper's do — writing arbitrary data into a
+specified file — and are detected at the ``write`` syscall (ROP) and the
+``sigreturn`` syscall (SROP) respectively.
+"""
+
+from repro.attacks.recon import ReconReport, run_recon
+from repro.attacks.gadgets import GadgetMap, find_gadgets
+from repro.attacks.rop import build_rop_request
+from repro.attacks.srop import build_srop_request
+from repro.attacks.retlib import build_retlib_request
+from repro.attacks.flushing import build_flushing_request
+
+__all__ = [
+    "GadgetMap",
+    "ReconReport",
+    "build_flushing_request",
+    "build_retlib_request",
+    "build_rop_request",
+    "build_srop_request",
+    "find_gadgets",
+    "run_recon",
+]

@@ -1,0 +1,33 @@
+"""Binary images and dynamic linking.
+
+A :class:`~repro.binary.module.Module` is the ELF analogue: a read-only
+code section, an initialised data section, exported symbols, imported
+symbols reached through PLT stubs, relocations, and a ``DT_NEEDED`` list.
+The :class:`~repro.binary.loader.Loader` lays modules out in an address
+space, resolves symbols with ELF interposition semantics (VDSO taking
+precedence for the symbols it provides), fills GOT slots and applies
+relocations — reproducing exactly the inter-module control-flow junctions
+the paper's CFG construction relies on (PLT indirect jumps, returns, and
+VDSO calls).
+"""
+
+from repro.binary.module import Module, Relocation, Symbol
+from repro.binary.builder import LinkError, ModuleBuilder
+from repro.binary.loader import (
+    Image,
+    LinkResolutionError,
+    LoadedModule,
+    Loader,
+)
+
+__all__ = [
+    "Image",
+    "LinkError",
+    "LinkResolutionError",
+    "LoadedModule",
+    "Loader",
+    "Module",
+    "ModuleBuilder",
+    "Relocation",
+    "Symbol",
+]

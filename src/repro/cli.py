@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments [names...]`` — regenerate paper tables/figures
+  (default: all).  Names: table1, sec2, table4, table5, fig5a, fig5b,
+  fig5c, fig5d, micro, hwext, security, ablations.
+- ``attack [rop|srop|retlib|flushing]`` — run one attack unprotected
+  and under FlowGuard.
+- ``serve <server> [-n N] [--unprotected]`` — drive a protected server
+  with N client sessions and print the monitor report.
+- ``fuzz <server> [--budget N]`` — run the miniature AFL campaign and
+  report discovered paths.
+- ``disasm <server|utility|spec-name>`` — dump a workload's entry
+  function as assembly text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations,
+        fig5a,
+        fig5b,
+        fig5c,
+        fig5d,
+        hwext_breakdown,
+        micro,
+        sec2_decode,
+        security,
+        table1,
+        table4,
+        table5,
+    )
+
+    registry: Dict[str, Callable[[], str]] = {
+        "table1": lambda: table1.format_table(table1.run()),
+        "sec2": lambda: sec2_decode.format_table(sec2_decode.run()),
+        "table4": lambda: table4.format_table(table4.run()),
+        "table5": lambda: table5.format_table(table5.run()),
+        "fig5a": lambda: fig5a.format_table(fig5a.run()),
+        "fig5b": lambda: fig5b.format_table(fig5b.run()),
+        "fig5c": lambda: fig5c.format_table(fig5c.run()),
+        "fig5d": lambda: fig5d.format_table(fig5d.run()),
+        "micro": lambda: micro.format_table(micro.run()),
+        "hwext": lambda: hwext_breakdown.format_table(
+            hwext_breakdown.run()),
+        "security": lambda: security.format_table(security.run()),
+        "ablations": ablations.format_all,
+    }
+    names = args.names or list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        print(f"\n{registry[name]()}")
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import (
+        build_flushing_request,
+        build_retlib_request,
+        build_rop_request,
+        build_srop_request,
+        run_recon,
+    )
+    from repro.attacks.rop import ATTACK_PATH
+    from repro.osmodel import Kernel, Sys
+    from repro.pipeline import FlowGuardPipeline
+    from repro.workloads import (
+        build_libsim, build_nginx, build_vdso, nginx_request,
+    )
+
+    builders = {
+        "rop": build_rop_request,
+        "srop": build_srop_request,
+        "retlib": build_retlib_request,
+        "flushing": build_flushing_request,
+    }
+    libs = {"libsim.so": build_libsim()}
+    recon = run_recon(build_nginx(), libs, vdso=build_vdso())
+    request = builders[args.kind](recon)
+
+    kernel = Kernel()
+    kernel.register_program("nginx", build_nginx(), libs,
+                            vdso=build_vdso())
+    proc = kernel.spawn("nginx")
+    proc.push_connection(request)
+    kernel.run(proc)
+    pwned = kernel.fs.exists(ATTACK_PATH.decode())
+    print(f"unprotected: {'EXPLOITED' if pwned or proc.stdout else 'no effect'}")
+
+    pipeline = FlowGuardPipeline.offline(
+        "nginx", build_nginx(), libs, vdso=build_vdso(),
+        corpus=[nginx_request("/index.html")], mode="socket",
+    )
+    kernel = Kernel()
+    monitor, proc = pipeline.deploy(kernel)
+    proc.push_connection(request)
+    kernel.run(proc)
+    if monitor.detections:
+        det = monitor.detections[0]
+        print(f"FlowGuard:   DETECTED at {Sys(det.syscall_nr).name.lower()} "
+              f"({det.path} path): {det.reason}")
+        return 0
+    print("FlowGuard:   NOT DETECTED")
+    return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.common import (
+        run_server, seed_server_fs, server_requests,
+    )
+
+    run = run_server(
+        args.server,
+        server_requests(args.server, args.sessions),
+        protected=not args.unprotected,
+    )
+    print(f"{args.server}: served with exit code {run.proc.exit_code}, "
+          f"{run.proc.executor.insn_count} instructions, "
+          f"{run.app_cycles:.0f} app cycles")
+    if run.stats is not None:
+        stats = run.stats
+        print(f"monitor: {stats.checks} checks, "
+              f"{stats.slow_path_runs} slow-path runs, "
+              f"overhead {run.overhead * 100:.2f}% "
+              f"(trace {stats.trace_cycles:.0f} / decode "
+              f"{stats.decode_cycles:.0f} / check "
+              f"{stats.check_cycles:.0f} / other "
+              f"{stats.other_cycles:.0f})")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.experiments.common import (
+        libraries, seed_server_fs, training_corpus,
+    )
+    from repro.fuzz import Fuzzer, TargetRunner
+    from repro.workloads import SERVER_BUILDERS, build_vdso
+
+    exe = SERVER_BUILDERS[args.server]()
+    runner = TargetRunner(
+        args.server, exe, libraries(), vdso=build_vdso(),
+        mode="socket", max_steps=200_000,
+        kernel_setup=lambda k: seed_server_fs(k),
+    )
+    seeds = [bytes(c) if isinstance(c, (bytes, bytearray)) else c[0]
+             for c in training_corpus(args.server)[:2]]
+    fuzzer = Fuzzer(runner, seeds)
+    queue = fuzzer.run(max_executions=args.budget)
+    print(f"{fuzzer.stats.executions} executions, "
+          f"{len(queue)} path-finding inputs, "
+          f"{fuzzer.stats.crashes} crashes, "
+          f"{fuzzer.coverage.edge_count} coverage points")
+    for index, entry in enumerate(queue.entries()):
+        print(f"  [{index}] depth={entry.depth} "
+              f"{entry.data[:40]!r}{'...' if len(entry.data) > 40 else ''}")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.isa.disassembler import disassemble_range, format_insn
+    from repro.workloads import SERVER_BUILDERS, UTILITY_BUILDERS
+    from repro.workloads.spec import SPEC_NAMES, build_spec_program
+
+    if args.name in SERVER_BUILDERS:
+        module = SERVER_BUILDERS[args.name]()
+    elif args.name in UTILITY_BUILDERS:
+        module = UTILITY_BUILDERS[args.name]()
+    elif args.name in SPEC_NAMES:
+        module = build_spec_program(args.name, 1)
+    else:
+        print(f"unknown workload {args.name!r}", file=sys.stderr)
+        return 2
+    function = args.function or (
+        "main" if "main" in module.function_ranges else module.entry
+    )
+    if function not in module.function_ranges:
+        print(f"{args.name} has no function {function!r}; "
+              f"available: {', '.join(sorted(module.function_ranges))}",
+              file=sys.stderr)
+        return 2
+    start, end = module.function_ranges[function]
+    print(f"{args.name}:{function} ({end - start} bytes)")
+    for offset, insn, _ in disassemble_range(module.code, start, end):
+        print(f"  {offset:6x}:  {format_insn(insn, ip=offset)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlowGuard reproduction (HPCA 2017) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate paper tables/figures"
+    )
+    experiments.add_argument("names", nargs="*",
+                             help="subset of experiments (default all)")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    attack = sub.add_parser("attack", help="run one attack demo")
+    attack.add_argument("kind",
+                        choices=["rop", "srop", "retlib", "flushing"])
+    attack.set_defaults(func=_cmd_attack)
+
+    serve = sub.add_parser("serve", help="drive a protected server")
+    serve.add_argument("server",
+                       choices=["nginx", "vsftpd", "openssh", "exim"])
+    serve.add_argument("-n", "--sessions", type=int, default=8)
+    serve.add_argument("--unprotected", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
+
+    fuzz = sub.add_parser("fuzz", help="run the miniature AFL campaign")
+    fuzz.add_argument("server",
+                      choices=["nginx", "vsftpd", "openssh", "exim"])
+    fuzz.add_argument("--budget", type=int, default=200)
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    disasm = sub.add_parser("disasm", help="disassemble a workload")
+    disasm.add_argument("name")
+    disasm.add_argument("-f", "--function", default=None)
+    disasm.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

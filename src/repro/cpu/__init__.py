@@ -1,0 +1,26 @@
+"""CPU model: machine state, interpreter and the CoFI event bus.
+
+The executor retires instructions against a sparse paged memory and
+publishes one :class:`~repro.cpu.events.BranchEvent` per change-of-flow
+instruction to registered listeners (the IPT packetizer, BTS, LBR, and
+the fuzzer's coverage instrumentation all subscribe to this bus).
+"""
+
+from repro.cpu.events import BranchEvent, CoFIKind
+from repro.cpu.memory import Memory, MemoryError_, PROT_EXEC, PROT_READ, PROT_WRITE
+from repro.cpu.machine import Machine
+from repro.cpu.executor import CPUFault, Executor, HaltReason
+
+__all__ = [
+    "BranchEvent",
+    "CPUFault",
+    "CoFIKind",
+    "Executor",
+    "HaltReason",
+    "Machine",
+    "Memory",
+    "MemoryError_",
+    "PROT_EXEC",
+    "PROT_READ",
+    "PROT_WRITE",
+]

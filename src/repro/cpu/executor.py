@@ -1,0 +1,283 @@
+"""The interpreter: fetch, decode, execute, retire CoFI events.
+
+Decoded instructions are cached per address (code pages are read-only
+under the W^X assumption, so the cache never needs invalidation during a
+run; :meth:`Executor.flush_icache` exists for loaders that re-map code).
+
+Cycle accounting follows :mod:`repro.costs`; tracing hardware attached to
+the event bus keeps its own cycle accounts which the experiment harnesses
+combine with the CPU's.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import costs
+from repro.cpu.events import BranchEvent, CoFIKind
+from repro.cpu.machine import Machine, U64_MASK, to_signed
+from repro.cpu.memory import MemoryError_
+from repro.isa.encoding import DecodeError, decode_at, instruction_length
+from repro.isa.instructions import Insn, Op
+from repro.isa.registers import SP, Cond
+
+Listener = Callable[[BranchEvent], None]
+
+
+class CPUFault(Exception):
+    """A hardware fault: bad fetch, access violation, divide by zero."""
+
+    def __init__(self, message: str, ip: int) -> None:
+        super().__init__(f"{message} (ip={ip:#x})")
+        self.ip = ip
+
+
+class HaltReason(enum.Enum):
+    HALTED = "halted"
+    STEPS_EXHAUSTED = "steps_exhausted"
+
+
+class Executor:
+    """Interprets encoded instructions from a machine's memory."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        syscall_handler: Optional[Callable[[Machine], None]] = None,
+    ) -> None:
+        self.machine = machine
+        self.syscall_handler = syscall_handler
+        self.listeners: List[Listener] = []
+        self.cycles = 0.0
+        self.insn_count = 0
+        self._icache: Dict[int, Tuple[Insn, int]] = {}
+
+    # -- instrumentation ---------------------------------------------------
+
+    def add_listener(self, listener: Listener) -> None:
+        """Subscribe to retired CoFI events."""
+        self.listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self.listeners.remove(listener)
+
+    def flush_icache(self) -> None:
+        """Drop decoded-instruction cache (after remapping code pages)."""
+        self._icache.clear()
+
+    def _emit(self, event: BranchEvent) -> None:
+        for listener in self.listeners:
+            listener(event)
+
+    # -- fetch/decode -------------------------------------------------------
+
+    def _decode(self, ip: int) -> Tuple[Insn, int]:
+        cached = self._icache.get(ip)
+        if cached is not None:
+            return cached
+        # Fetch a maximal instruction window; instructions are <= 10 bytes.
+        try:
+            window = self.machine.memory.fetch(ip, 1)
+            op_byte = window[0]
+            try:
+                length = instruction_length(Op(op_byte))
+            except ValueError as exc:
+                raise DecodeError(f"invalid opcode {op_byte:#04x}") from exc
+            raw = self.machine.memory.fetch(ip, length)
+            insn, _ = decode_at(raw, 0)
+        except (MemoryError_, DecodeError) as exc:
+            raise CPUFault(f"fetch/decode fault: {exc}", ip) from exc
+        self._icache[ip] = (insn, length)
+        return insn, length
+
+    # -- stack helpers ------------------------------------------------------
+
+    def _push(self, value: int) -> None:
+        m = self.machine
+        m.set_reg(SP, m.reg(SP) - 8)
+        try:
+            m.memory.write_u64(m.reg(SP), value)
+        except MemoryError_ as exc:
+            raise CPUFault(f"stack push fault: {exc}", m.ip) from exc
+
+    def _pop(self) -> int:
+        m = self.machine
+        try:
+            value = m.memory.read_u64(m.reg(SP))
+        except MemoryError_ as exc:
+            raise CPUFault(f"stack pop fault: {exc}", m.ip) from exc
+        m.set_reg(SP, m.reg(SP) + 8)
+        return value
+
+    # -- execute ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute a single instruction."""
+        m = self.machine
+        ip = m.ip
+        insn, length = self._decode(ip)
+        op = insn.op
+        next_ip = ip + length
+        self.cycles += costs.INSN_CYCLES[op]
+        self.insn_count += 1
+
+        # Default sequential flow; branch ops overwrite.
+        m.ip = next_ip
+
+        if op is Op.NOP:
+            return
+        if op is Op.HALT:
+            m.halted = True
+            return
+        if op is Op.MOV_RI:
+            m.set_reg(insn.rd, insn.imm)
+            return
+        if op is Op.MOV_RR:
+            m.set_reg(insn.rd, m.reg(insn.rs))
+            return
+        if op is Op.LEA:
+            m.set_reg(insn.rd, next_ip + insn.rel)
+            return
+        if op is Op.LOAD:
+            try:
+                m.set_reg(insn.rd, m.memory.read_u64(m.reg(insn.rb) + insn.off))
+            except MemoryError_ as exc:
+                raise CPUFault(f"load fault: {exc}", ip) from exc
+            return
+        if op is Op.STORE:
+            try:
+                m.memory.write_u64(m.reg(insn.rb) + insn.off, m.reg(insn.rs))
+            except MemoryError_ as exc:
+                raise CPUFault(f"store fault: {exc}", ip) from exc
+            return
+        if op is Op.LOADB:
+            try:
+                m.set_reg(insn.rd, m.memory.read_u8(m.reg(insn.rb) + insn.off))
+            except MemoryError_ as exc:
+                raise CPUFault(f"load fault: {exc}", ip) from exc
+            return
+        if op is Op.STOREB:
+            try:
+                m.memory.write_u8(m.reg(insn.rb) + insn.off, m.reg(insn.rs))
+            except MemoryError_ as exc:
+                raise CPUFault(f"store fault: {exc}", ip) from exc
+            return
+        if op is Op.PUSH:
+            self._push(m.reg(insn.rs))
+            return
+        if op is Op.POP:
+            m.set_reg(insn.rd, self._pop())
+            return
+
+        if op is Op.ADD or op is Op.ADDI:
+            rhs = m.reg(insn.rs) if op is Op.ADD else insn.imm
+            res = (m.reg(insn.rd) + rhs) & U64_MASK
+            m.set_reg(insn.rd, res)
+            m.zf, m.sf = res == 0, bool(res >> 63)
+            return
+        if op is Op.SUB or op is Op.SUBI:
+            rhs = m.reg(insn.rs) if op is Op.SUB else insn.imm
+            res = (m.reg(insn.rd) - rhs) & U64_MASK
+            m.set_reg(insn.rd, res)
+            m.zf, m.sf = res == 0, bool(res >> 63)
+            return
+        if op is Op.MUL or op is Op.MULI:
+            rhs = m.reg(insn.rs) if op is Op.MUL else insn.imm
+            res = (to_signed(m.reg(insn.rd)) * rhs) & U64_MASK
+            m.set_reg(insn.rd, res)
+            m.zf, m.sf = res == 0, bool(res >> 63)
+            return
+        if op is Op.DIV or op is Op.MOD:
+            divisor = to_signed(m.reg(insn.rs))
+            if divisor == 0:
+                raise CPUFault("divide by zero", ip)
+            dividend = to_signed(m.reg(insn.rd))
+            quot = int(dividend / divisor)  # truncate toward zero
+            res = quot if op is Op.DIV else dividend - quot * divisor
+            m.set_reg(insn.rd, res & U64_MASK)
+            return
+        if op is Op.AND or op is Op.ANDI:
+            rhs = m.reg(insn.rs) if op is Op.AND else insn.imm & U64_MASK
+            res = m.reg(insn.rd) & rhs
+            m.set_reg(insn.rd, res)
+            m.zf, m.sf = res == 0, bool(res >> 63)
+            return
+        if op is Op.OR:
+            res = m.reg(insn.rd) | m.reg(insn.rs)
+            m.set_reg(insn.rd, res)
+            m.zf, m.sf = res == 0, bool(res >> 63)
+            return
+        if op is Op.XOR:
+            res = m.reg(insn.rd) ^ m.reg(insn.rs)
+            m.set_reg(insn.rd, res)
+            m.zf, m.sf = res == 0, bool(res >> 63)
+            return
+        if op is Op.SHL:
+            res = (m.reg(insn.rd) << (m.reg(insn.rs) & 63)) & U64_MASK
+            m.set_reg(insn.rd, res)
+            return
+        if op is Op.SHR:
+            res = m.reg(insn.rd) >> (m.reg(insn.rs) & 63)
+            m.set_reg(insn.rd, res)
+            return
+        if op is Op.CMP or op is Op.CMPI:
+            rhs = to_signed(m.reg(insn.rs)) if op is Op.CMP else insn.imm
+            diff = to_signed(m.reg(insn.rd)) - rhs
+            m.zf, m.sf = diff == 0, diff < 0
+            return
+
+        if op is Op.JMP:
+            target = next_ip + insn.rel
+            m.ip = target
+            self._emit(BranchEvent(CoFIKind.DIRECT_JMP, ip, target))
+            return
+        if op is Op.JCC:
+            taken = Cond(insn.cc).holds(m.zf, m.sf)
+            target = next_ip + insn.rel if taken else next_ip
+            m.ip = target
+            self._emit(BranchEvent(CoFIKind.COND_BRANCH, ip, target, taken))
+            return
+        if op is Op.JMPR:
+            target = m.reg(insn.rs)
+            m.ip = target
+            self._emit(BranchEvent(CoFIKind.INDIRECT_JMP, ip, target))
+            return
+        if op is Op.CALL:
+            target = next_ip + insn.rel
+            self._push(next_ip)
+            m.ip = target
+            self._emit(BranchEvent(CoFIKind.DIRECT_CALL, ip, target))
+            return
+        if op is Op.CALLR:
+            target = m.reg(insn.rs)
+            self._push(next_ip)
+            m.ip = target
+            self._emit(BranchEvent(CoFIKind.INDIRECT_CALL, ip, target))
+            return
+        if op is Op.RET:
+            target = self._pop()
+            m.ip = target
+            self._emit(BranchEvent(CoFIKind.RET, ip, target))
+            return
+        if op is Op.SYSCALL:
+            self.cycles += costs.SYSCALL_BASE_CYCLES
+            if self.syscall_handler is not None:
+                # The handler may rewrite machine state (exit, sigreturn).
+                self.syscall_handler(m)
+            # Far transfer: destination reflects any handler redirection
+            # (e.g. sigreturn), matching what IPT would trace on resume.
+            self._emit(BranchEvent(CoFIKind.FAR_TRANSFER, ip, m.ip))
+            return
+
+        raise CPUFault(f"unimplemented opcode {op.name}", ip)
+
+    def run(self, max_steps: int = 10_000_000) -> HaltReason:
+        """Run until halt or ``max_steps`` instructions retire."""
+        m = self.machine
+        step = self.step
+        for _ in range(max_steps):
+            if m.halted:
+                return HaltReason.HALTED
+            step()
+        return HaltReason.HALTED if m.halted else HaltReason.STEPS_EXHAUSTED

@@ -1,0 +1,25 @@
+"""Baseline defenses the paper positions FlowGuard against (§8.2).
+
+All are endpoint-triggered monitors over cheaper tracing hardware:
+
+- :class:`~repro.defenses.kbouncer.KBouncer` — LBR at endpoints with a
+  call-preceded-return check plus a gadget-chain-length heuristic,
+- :class:`~repro.defenses.ropecker.ROPecker` — LBR sliding window with a
+  short-gadget run heuristic,
+- :class:`~repro.defenses.patharmor.PathArmorLite` — LBR entries checked
+  against the O-CFG (context-sensitive but window-limited; suffers LBR
+  pollution),
+- :class:`~repro.defenses.cfimon.CFIMon` — BTS full trace checked
+  against per-branch target sets (precise but ~50x tracing overhead).
+
+They exist to reproduce the Table 1 trade-offs and the history-flushing
+comparison: small-window heuristics miss flushed chains that FlowGuard's
+30+-TIP ITC check catches.
+"""
+
+from repro.defenses.kbouncer import KBouncer
+from repro.defenses.ropecker import ROPecker
+from repro.defenses.patharmor import PathArmorLite
+from repro.defenses.cfimon import CFIMon
+
+__all__ = ["CFIMon", "KBouncer", "PathArmorLite", "ROPecker"]

@@ -1,0 +1,110 @@
+"""§7.1.2 security matrix: attacks vs FlowGuard and the baselines.
+
+Runs each attack (ROP, SROP, return-to-lib, history flushing) against
+nginx under every defense and reports who detects what:
+
+- FlowGuard detects all four (ROP at write, SROP at sigreturn),
+- the LBR heuristics (kBouncer/ROPecker) miss the flushed chain — their
+  16-entry window only sees the NOP-gadget tail,
+- PathArmor-lite and CFIMon detect CFG violations they can still see
+  (full history for CFIMon; window-limited for PathArmor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.attacks import (
+    build_flushing_request,
+    build_retlib_request,
+    build_rop_request,
+    build_srop_request,
+    run_recon,
+)
+from repro.defenses import CFIMon, KBouncer, PathArmorLite, ROPecker
+from repro.experiments.common import format_rows, server_pipeline
+from repro.osmodel.kernel import Kernel
+from repro.workloads import build_libsim, build_nginx, build_vdso
+
+ATTACKS = ("rop", "srop", "retlib", "flushing")
+DEFENSES = ("flowguard", "kbouncer", "ropecker", "patharmor", "cfimon")
+
+
+@dataclass
+class SecurityResult:
+    #: detected[attack][defense] -> bool
+    detected: Dict[str, Dict[str, bool]] = field(default_factory=dict)
+
+
+def _attack_request(recon, attack: str) -> bytes:
+    builders = {
+        "rop": build_rop_request,
+        "srop": build_srop_request,
+        "retlib": build_retlib_request,
+        "flushing": lambda r: build_flushing_request(r, nop_gadgets=40),
+    }
+    return builders[attack](recon)
+
+
+def _run_flowguard(pipeline, request: bytes) -> bool:
+    kernel = Kernel()
+    kernel.fs.create("/index.html", b"x")
+    monitor, proc = pipeline.deploy(kernel)
+    proc.push_connection(request)
+    kernel.run(proc)
+    return bool(monitor.detections)
+
+
+def _run_baseline(name: str, pipeline, request: bytes) -> bool:
+    kernel = Kernel()
+    kernel.fs.create("/index.html", b"x")
+    kernel.register_program(
+        "nginx", pipeline.exe, pipeline.libraries, vdso=pipeline.vdso
+    )
+    if name == "kbouncer":
+        defense = KBouncer(kernel)
+    elif name == "ropecker":
+        defense = ROPecker(kernel)
+    elif name == "patharmor":
+        defense = PathArmorLite(kernel)
+    else:
+        defense = CFIMon(kernel)
+    defense.install()
+    proc = kernel.spawn("nginx")
+    if name in ("patharmor", "cfimon"):
+        defense.protect(proc, pipeline.ocfg)
+    else:
+        defense.protect(proc)
+    proc.push_connection(request)
+    kernel.run(proc)
+    return bool(defense.detections)
+
+
+def run() -> SecurityResult:
+    libs = {"libsim.so": build_libsim()}
+    recon = run_recon(build_nginx(), libs, vdso=build_vdso())
+    pipeline = server_pipeline("nginx")
+    result = SecurityResult()
+    for attack in ATTACKS:
+        request = _attack_request(recon, attack)
+        result.detected[attack] = {
+            "flowguard": _run_flowguard(pipeline, request),
+        }
+        for defense in DEFENSES[1:]:
+            result.detected[attack][defense] = _run_baseline(
+                defense, pipeline, request
+            )
+    return result
+
+
+def format_table(result: SecurityResult) -> str:
+    header = ["Attack"] + list(DEFENSES)
+    rows = [
+        [attack] + [
+            "detected" if result.detected[attack][d] else "MISSED"
+            for d in DEFENSES
+        ]
+        for attack in ATTACKS
+    ]
+    return "§7.1.2 — attack detection matrix\n" + format_rows(header, rows)

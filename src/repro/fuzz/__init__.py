@@ -1,0 +1,36 @@
+"""Coverage-oriented fuzzing and the credit-training phase (§4.3).
+
+The paper trains edge credits in three steps:
+
+1. run the target under QEMU user emulation with transition-discovery
+   instrumentation — here, the CPU interpreter with an AFL-style edge
+   coverage bitmap (:mod:`repro.fuzz.coverage`),
+2. mutate queued test cases with classic fuzzing strategies
+   (:mod:`repro.fuzz.mutators`), keeping inputs that reach new
+   transitions (:mod:`repro.fuzz.fuzzer`),
+3. replay the resulting corpus on the traced "real hardware" (CPU +
+   IPT), fast-decode the traces and label the observed ITC edges with
+   high credits and TNT information (:mod:`repro.fuzz.training`).
+
+Network software is fuzzed through a preeny/desock-style adapter that
+channels the fuzz input into a socket connection.
+"""
+
+from repro.fuzz.coverage import CoverageMap, CoverageTracker
+from repro.fuzz.mutators import MutationEngine
+from repro.fuzz.queue import CorpusEntry, FuzzQueue
+from repro.fuzz.fuzzer import Fuzzer, FuzzStats, TargetRunner
+from repro.fuzz.training import TrainingReport, train_credits
+
+__all__ = [
+    "CorpusEntry",
+    "CoverageMap",
+    "CoverageTracker",
+    "FuzzQueue",
+    "FuzzStats",
+    "Fuzzer",
+    "MutationEngine",
+    "TargetRunner",
+    "TrainingReport",
+    "train_credits",
+]

@@ -1,0 +1,71 @@
+"""AFL-style edge-coverage instrumentation.
+
+The QEMU user-emulation instrumentation of the paper discovers "new
+state transitions"; the classic AFL realisation is a 64 KiB bitmap
+indexed by a hash of (previous block, current block), with hit counts
+bucketed into power-of-two classes so loop-count changes register as
+new coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cpu.events import BranchEvent
+
+MAP_SIZE = 1 << 16
+
+
+def _bucket(count: int) -> int:
+    """AFL hit-count bucketing."""
+    if count <= 3:
+        return count
+    if count <= 7:
+        return 4
+    if count <= 15:
+        return 8
+    if count <= 31:
+        return 16
+    if count <= 127:
+        return 32
+    return 64
+
+
+class CoverageMap:
+    """The shared-bitmap coverage accumulator across runs."""
+
+    def __init__(self) -> None:
+        self._virgin: Set[int] = set()  # (index << 7) | bucket keys seen
+
+    def merge(self, run_map: dict) -> bool:
+        """Fold one run's {index: count} map in; True if new coverage."""
+        new = False
+        for index, count in run_map.items():
+            key = (index << 7) | _bucket(count)
+            if key not in self._virgin:
+                self._virgin.add(key)
+                new = True
+        return new
+
+    @property
+    def edge_count(self) -> int:
+        """Distinct (edge, bucket) pairs observed so far."""
+        return len(self._virgin)
+
+
+class CoverageTracker:
+    """Per-run instrumentation: a CoFI listener filling a hit map."""
+
+    def __init__(self) -> None:
+        self.hits: dict = {}
+        self._prev = 0
+
+    def on_branch(self, event: BranchEvent) -> None:
+        cur = (event.dst * 0x9E3779B1) & 0xFFFFFFFF
+        index = (cur ^ self._prev) & (MAP_SIZE - 1)
+        self.hits[index] = self.hits.get(index, 0) + 1
+        self._prev = (cur >> 1) & 0xFFFFFFFF
+
+    def reset(self) -> None:
+        self.hits = {}
+        self._prev = 0

@@ -1,0 +1,51 @@
+"""The fuzzing queue: test cases that produced new transitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class CorpusEntry:
+    """One queued input."""
+
+    data: bytes
+    #: number of new (edge, bucket) pairs it contributed when queued.
+    novelty: int = 0
+    #: generation depth (seed = 0).
+    depth: int = 0
+    fuzzed: bool = False
+
+
+class FuzzQueue:
+    """FIFO of interesting inputs, as in AFL's queue directory."""
+
+    def __init__(self) -> None:
+        self._entries: List[CorpusEntry] = []
+        self._cursor = 0
+
+    def push(self, entry: CorpusEntry) -> None:
+        self._entries.append(entry)
+
+    def next_unfuzzed(self) -> Optional[CorpusEntry]:
+        """The next entry that has not been through the mutators."""
+        for entry in self._entries:
+            if not entry.fuzzed:
+                return entry
+        return None
+
+    def cycle(self) -> CorpusEntry:
+        """Round-robin over the whole queue (post-deterministic phase)."""
+        entry = self._entries[self._cursor % len(self._entries)]
+        self._cursor += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[CorpusEntry]:
+        return list(self._entries)
+
+    def corpus(self) -> List[bytes]:
+        return [entry.data for entry in self._entries]

@@ -1,0 +1,98 @@
+"""Training step 3: replay the corpus under IPT and label edge credits.
+
+Each corpus input is replayed on the "real hardware" — the CPU with the
+IPT packetizer attached — the trace is fast-decoded, and every observed
+consecutive-TIP pair labels its ITC edge with a high credit plus the
+TNT sequence seen between the two TIPs (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.binary.module import Module
+from repro.ipt.encoder import IPTEncoder
+from repro.ipt.fast_decoder import fast_decode
+from repro.ipt.msr import IPTConfig
+from repro.ipt.topa import ToPA, ToPARegion
+from repro.itccfg.credits import CreditLabeledITC
+from repro.itccfg.paths import PathIndex
+from repro.osmodel.kernel import Kernel
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of a training pass."""
+
+    inputs_replayed: int = 0
+    edges_observed: int = 0
+    #: trained-ratio after each replayed input (Figure 5d's curve).
+    ratio_history: List[float] = field(default_factory=list)
+
+    @property
+    def final_ratio(self) -> float:
+        return self.ratio_history[-1] if self.ratio_history else 0.0
+
+
+def train_credits(
+    labeled: CreditLabeledITC,
+    program: str,
+    exe: Module,
+    corpus: Iterable[bytes],
+    libraries: Optional[Dict[str, Module]] = None,
+    vdso: Optional[Module] = None,
+    mode: str = "stdin",
+    max_steps: int = 400_000,
+    kernel_setup: Optional[Callable[[Kernel], None]] = None,
+    path_index: Optional[PathIndex] = None,
+) -> TrainingReport:
+    """Replay ``corpus`` with IPT tracing and label ``labeled`` in place.
+
+    ``kernel_setup`` seeds each training kernel (filesystem inputs etc.)
+    so training exercises the same paths deployment will.
+
+    Training runs are trusted (pre-deployment), so unknown edges are
+    ignored rather than flagged — the conservative ITC-CFG should make
+    them impossible, but a crashed run can truncate mid-trace.
+    """
+    report = TrainingReport()
+    for data in corpus:
+        kernel = Kernel()
+        kernel.register_program(program, exe, libraries, vdso=vdso)
+        if kernel_setup is not None:
+            kernel_setup(kernel)
+        proc = kernel.spawn(program)
+        # A corpus entry may be a single payload or a sequence of
+        # payloads served by one process — multi-connection sessions
+        # train the inter-request flow (accept-loop wrap-around) that
+        # single-shot runs never exercise.
+        payloads = (
+            list(data) if isinstance(data, (list, tuple)) else [data]
+        )
+        if mode == "socket":
+            for payload in payloads:
+                proc.push_connection(payload)
+        else:
+            for payload in payloads:
+                proc.feed_stdin(payload)
+        config = IPTConfig.flowguard_defaults(proc.cr3)
+        encoder = IPTEncoder(
+            config,
+            output=ToPA([ToPARegion(1 << 22)]),
+            current_cr3=lambda p=proc: p.cr3,
+        )
+        proc.executor.add_listener(encoder.on_branch)
+        kernel.run(proc, max_steps=max_steps)
+        encoder.flush()
+        records = fast_decode(
+            encoder.output.snapshot(), sync=encoder.output.wrapped
+        ).tip_records()
+        report.edges_observed += labeled.observe_trace(
+            ((r.ip, r.tnt_before) for r in records), strict=False
+        )
+        if path_index is not None:
+            path_index.observe_sequence([r.ip for r in records])
+        report.inputs_replayed += 1
+        report.ratio_history.append(labeled.trained_ratio())
+    return report

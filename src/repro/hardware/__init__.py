@@ -1,0 +1,13 @@
+"""Other hardware tracing mechanisms (Table 1): BTS and LBR.
+
+Both subscribe to the same CoFI event bus as IPT.  BTS records complete
+source/target pairs to memory but stalls the pipeline per record (~50x
+tracing overhead); LBR keeps only the last 16/32 branch pairs in a
+register stack at negligible cost — precise protection is impossible
+but kBouncer/ROPecker/PathArmor-style heuristics build on it.
+"""
+
+from repro.hardware.bts import BTSBuffer, BTSRecord, BTSTracer
+from repro.hardware.lbr import LBRFilter, LBRStack
+
+__all__ = ["BTSBuffer", "BTSRecord", "BTSTracer", "LBRFilter", "LBRStack"]

@@ -1,0 +1,36 @@
+"""The suggested hardware packet decoder (§6 item 1).
+
+"This hardware decoder can be very simple: it only requires a
+pattern-matching engine to process the buffer according to patterns
+with two 8-bit words, and route corresponding packets to specific
+memory locations."  Functionally identical to the software fast decode;
+the cost drops from :data:`repro.costs.FAST_DECODE_CYCLES_PER_BYTE` to
+:data:`repro.costs.HW_DECODE_CYCLES_PER_BYTE` per byte.
+"""
+
+from __future__ import annotations
+
+from repro import costs
+from repro.ipt.fast_decoder import FastDecodeResult, fast_decode
+
+
+class PatternMatchDecoder:
+    """Hardware-assisted packet-layer decoder."""
+
+    def __init__(self) -> None:
+        self.cycles = 0.0
+        self.bytes_processed = 0
+
+    def decode(self, data: bytes, sync: bool = False) -> FastDecodeResult:
+        """Decode like the software fast path, at hardware cost."""
+        result = fast_decode(data, sync=sync, charge=False)
+        processed = len(data) - result.synced_offset
+        cost = processed * costs.HW_DECODE_CYCLES_PER_BYTE
+        self.bytes_processed += processed
+        self.cycles += cost
+        return FastDecodeResult(
+            result.packets,
+            cost,
+            synced_offset=result.synced_offset,
+            truncated=result.truncated,
+        )

@@ -1,0 +1,74 @@
+"""Multi-CR3 filtering and in-hardware simple CFI policies (§6 2-3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.ipt.msr import IPTConfig
+from repro.cpu.events import BranchEvent
+
+
+class MultiCR3Config(IPTConfig):
+    """An RTIT extension with a *set* of CR3 match values.
+
+    One CR3-related MSR is not enough for multi-process applications
+    (a forked worker gets a fresh CR3 and falls out of the filter);
+    this models a small CAM of match values.
+    """
+
+    def __init__(self, cr3_values: Iterable[int] = (), slots: int = 8,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.slots = slots
+        self._matches: Set[int] = set()
+        for value in cr3_values:
+            self.add_cr3(value)
+
+    def add_cr3(self, value: int) -> None:
+        if len(self._matches) >= self.slots:
+            raise ValueError(f"all {self.slots} CR3 filter slots in use")
+        self._matches.add(value)
+
+    def remove_cr3(self, value: int) -> None:
+        self._matches.discard(value)
+
+    def accepts_cr3(self, cr3: Optional[int]) -> bool:
+        if not self.cr3_filtering:
+            return True
+        return cr3 in self._matches
+
+
+@dataclass
+class HardwareCFIFilter:
+    """Simple in-hardware CFI policy over the live packet stream.
+
+    Checks every indirect-branch target against a set of allowed code
+    ranges *as it retires* — no buffering, no software, no endpoint.
+    This catches wild transfers (heap/stack targets) between endpoint
+    checks, the "non end-points runtime traces" improvement of §6.
+    """
+
+    allowed_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    violations: List[BranchEvent] = field(default_factory=list)
+    checked: int = 0
+
+    def add_range(self, start: int, end: int) -> None:
+        self.allowed_ranges.append((start, end))
+
+    def on_branch(self, event: BranchEvent) -> None:
+        if not event.kind.is_indirect:
+            return
+        self.checked += 1
+        for start, end in self.allowed_ranges:
+            if start <= event.dst < end:
+                return
+        self.violations.append(event)
+
+    @classmethod
+    def for_image(cls, image) -> "HardwareCFIFilter":
+        """Allow exactly the loaded code regions."""
+        filter_ = cls()
+        for lm in image.all_modules():
+            filter_.add_range(lm.base, lm.base + len(lm.module.code))
+        return filter_

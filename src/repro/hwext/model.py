@@ -1,0 +1,64 @@
+"""Overhead projection under the §6 hardware extensions (§7.2.4).
+
+Takes a measured :class:`~repro.monitor.flowguard.MonitorStats`
+breakdown (trace / decode / check / other) and projects the totals with
+selected extensions enabled — the quantitative version of "a dedicated
+hardware decoder can significantly reduce such overhead".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import costs
+from repro.monitor.flowguard import MonitorStats
+
+
+@dataclass
+class HardwareExtensionModel:
+    """Which suggested extensions to apply."""
+
+    hw_decoder: bool = True
+    multi_cr3: bool = False
+    hw_cfi_logic: bool = False
+
+    #: Fraction of tracing cost recovered by not reprogramming the CR3
+    #: filter across multi-process context switches.
+    multi_cr3_trace_saving: float = 0.3
+    #: Fraction of checking cost offloaded to in-hardware simple CFI.
+    hw_cfi_check_saving: float = 0.5
+
+    def apply(self, stats: MonitorStats) -> MonitorStats:
+        """A projected copy of ``stats`` with the extensions enabled."""
+        projected = MonitorStats(
+            trace_cycles=stats.trace_cycles,
+            decode_cycles=stats.decode_cycles,
+            check_cycles=stats.check_cycles,
+            other_cycles=stats.other_cycles,
+            checks=stats.checks,
+            fast_passes=stats.fast_passes,
+            slow_path_runs=stats.slow_path_runs,
+            pmi_count=stats.pmi_count,
+        )
+        if self.hw_decoder:
+            ratio = (
+                costs.HW_DECODE_CYCLES_PER_BYTE
+                / costs.FAST_DECODE_CYCLES_PER_BYTE
+            )
+            projected.decode_cycles *= ratio
+        if self.multi_cr3:
+            projected.trace_cycles *= 1.0 - self.multi_cr3_trace_saving
+        if self.hw_cfi_logic:
+            projected.check_cycles *= 1.0 - self.hw_cfi_check_saving
+        return projected
+
+
+def project_overhead(
+    stats: MonitorStats,
+    app_cycles: float,
+    model: HardwareExtensionModel,
+) -> float:
+    """Projected relative overhead with the extensions enabled."""
+    if app_cycles <= 0:
+        return 0.0
+    return model.apply(stats).total_cycles / app_cycles

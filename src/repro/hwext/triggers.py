@@ -1,0 +1,32 @@
+"""Configurable trigger mechanisms (§6 item 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cpu.events import BranchEvent
+
+
+@dataclass
+class TipCountTrigger:
+    """Fire a callback every N TIP-producing branches.
+
+    Today's IPT only interrupts on buffer-full PMIs; a configurable
+    packet-count trigger lets the monitor bound the unchecked-flow
+    window without burning a syscall endpoint.
+    """
+
+    every_n_tips: int
+    callback: Callable[[], None]
+    fired: int = 0
+    _count: int = field(default=0, repr=False)
+
+    def on_branch(self, event: BranchEvent) -> None:
+        if not event.kind.produces_tip:
+            return
+        self._count += 1
+        if self._count >= self.every_n_tips:
+            self._count = 0
+            self.fired += 1
+            self.callback()

@@ -1,0 +1,63 @@
+"""Intel Processor Trace hardware model.
+
+Faithful to the properties FlowGuard exploits (§2, Table 2, Table 3):
+
+- per-core packetizer producing a *compressed* byte stream: conditional
+  branches become single TNT bits (up to 6 per packet), indirect
+  branches/returns become TIP packets with IP-byte compression against
+  the previous IP, far transfers become FUP + TIP.PGD/TIP.PGE pairs, and
+  direct branches produce **no output**,
+- periodic PSB sync points (followed by a FUP carrying the current IP),
+  enabling mid-stream and parallel decode,
+- ToPA output regions with wrap-around and PMI-on-full,
+- CR3 / CPL (user-only) filtering configured through RTIT MSRs,
+- a **fast decoder** that only parses packet framing (cheap, but knows
+  nothing about instruction types), and a **full decoder** that walks the
+  program binaries instruction-by-instruction — Intel's reference
+  "instruction flow layer", orders of magnitude slower.
+"""
+
+from repro.ipt.packets import (
+    DecodedPacket,
+    PacketKind,
+    PSB_PATTERN,
+    PacketError,
+)
+from repro.ipt.topa import PMI, ToPA, ToPARegion
+from repro.ipt.msr import RTIT_CTL, IPTConfig
+from repro.ipt.encoder import IPTEncoder
+from repro.ipt.fast_decoder import (
+    FastDecodeResult,
+    TipRecord,
+    fast_decode,
+    fast_decode_parallel,
+    sync_to_psb,
+)
+from repro.ipt.full_decoder import (
+    FlowEdge,
+    FullDecodeResult,
+    FullDecoder,
+    TraceMismatch,
+)
+
+__all__ = [
+    "DecodedPacket",
+    "FastDecodeResult",
+    "FlowEdge",
+    "FullDecodeResult",
+    "FullDecoder",
+    "IPTConfig",
+    "IPTEncoder",
+    "PMI",
+    "PSB_PATTERN",
+    "PacketError",
+    "PacketKind",
+    "RTIT_CTL",
+    "TipRecord",
+    "ToPA",
+    "ToPARegion",
+    "TraceMismatch",
+    "fast_decode",
+    "fast_decode_parallel",
+    "sync_to_psb",
+]

@@ -1,0 +1,140 @@
+"""The per-core IPT packetizer.
+
+Subscribes to the CPU's CoFI event bus and emits compressed packets into
+a ToPA buffer according to Table 3:
+
+- direct jumps/calls: no output,
+- conditional branches: one TNT bit, flushed 6 to a packet,
+- indirect jumps/calls/returns: TIP,
+- far transfers (syscalls): FUP(source) + TIP.PGD, then TIP.PGE(resume)
+  when user-only filtering blanks the kernel excursion.
+
+A PSB+ group (PSB, FUP with the current IP, PSBEND) is inserted every
+``psb_period`` output bytes so decoders can synchronise mid-stream.
+
+Tracing cost is charged per emitted byte (:data:`repro.costs`), the
+source of IPT's ~3% tracing overhead versus BTS's per-record stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro import costs
+from repro.cpu.events import BranchEvent, CoFIKind
+from repro.ipt.msr import IPTConfig
+from repro.ipt.packets import (
+    FUP_HEADER,
+    MAX_TNT_BITS,
+    PSBEND_BYTE,
+    PSB_PATTERN,
+    TIP_HEADER,
+    TIP_PGD_HEADER,
+    TIP_PGE_HEADER,
+    encode_ip_packet,
+    encode_tnt,
+)
+from repro.ipt.topa import ToPA
+
+
+class IPTEncoder:
+    """One core's trace unit: config + packet generation state."""
+
+    def __init__(
+        self,
+        config: IPTConfig,
+        output: Optional[ToPA] = None,
+        current_cr3: Optional[Callable[[], Optional[int]]] = None,
+    ) -> None:
+        self.config = config
+        self.output = output if output is not None else ToPA.flowguard_default()
+        #: Callable returning the CR3 of the currently running context;
+        #: the kernel wires this to the scheduled process.
+        self.current_cr3 = current_cr3 or (lambda: None)
+        self._tnt_buffer: List[bool] = []
+        self._last_ip = 0
+        self._bytes_since_psb = 0
+        self._started = False
+        self.cycles = 0.0
+        self.packets_emitted = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _write(self, data: bytes) -> None:
+        self.output.write(data)
+        self.cycles += len(data) * costs.IPT_TRACE_CYCLES_PER_BYTE
+        self._bytes_since_psb += len(data)
+        self.packets_emitted += 1
+
+    def _emit_psb_group(self, current_ip: int) -> None:
+        self._flush_tnt()
+        self.output.write(PSB_PATTERN)
+        self.cycles += len(PSB_PATTERN) * costs.IPT_TRACE_CYCLES_PER_BYTE
+        # PSB resets IP compression state on both sides.
+        self._last_ip = 0
+        data, self._last_ip = encode_ip_packet(
+            FUP_HEADER, current_ip, self._last_ip
+        )
+        self.output.write(data)
+        self.output.write(bytes([PSBEND_BYTE]))
+        self.cycles += (len(data) + 1) * costs.IPT_TRACE_CYCLES_PER_BYTE
+        self._bytes_since_psb = 0
+        self.packets_emitted += 3
+
+    def _maybe_psb(self, current_ip: int) -> None:
+        if not self._started or self._bytes_since_psb >= self.config.psb_period:
+            self._emit_psb_group(current_ip)
+            self._started = True
+
+    def _flush_tnt(self) -> None:
+        while self._tnt_buffer:
+            chunk = tuple(self._tnt_buffer[:MAX_TNT_BITS])
+            del self._tnt_buffer[:MAX_TNT_BITS]
+            self._write(encode_tnt(chunk))
+
+    def _emit_ip(self, header: int, target: Optional[int]) -> None:
+        data, self._last_ip = encode_ip_packet(header, target, self._last_ip)
+        self._write(data)
+
+    # -- event sink ----------------------------------------------------------
+
+    def on_branch(self, event: BranchEvent) -> None:
+        """CoFI retirement hook (CPU event-bus listener)."""
+        if not (self.config.trace_enabled and self.config.branch_enabled):
+            return
+        if not self.config.accepts_cr3(self.current_cr3()):
+            return
+
+        kind = event.kind
+        if kind in (CoFIKind.DIRECT_JMP, CoFIKind.DIRECT_CALL):
+            return  # no output (Table 3)
+
+        self._maybe_psb(event.src)
+
+        if kind is CoFIKind.COND_BRANCH:
+            self._tnt_buffer.append(event.taken)
+            if len(self._tnt_buffer) >= MAX_TNT_BITS:
+                self._flush_tnt()
+            return
+
+        # Indirect branches and far transfers force TNT flush so packet
+        # order matches retirement order.
+        self._flush_tnt()
+        if kind in (
+            CoFIKind.INDIRECT_JMP,
+            CoFIKind.INDIRECT_CALL,
+            CoFIKind.RET,
+        ):
+            self._emit_ip(TIP_HEADER, event.dst)
+            return
+        if kind is CoFIKind.FAR_TRANSFER:
+            # User-only tracing: publish the source, mark the excursion
+            # into the kernel (IP suppressed), resume at the destination.
+            self._emit_ip(FUP_HEADER, event.src)
+            self._emit_ip(TIP_PGD_HEADER, None)
+            self._emit_ip(TIP_PGE_HEADER, event.dst)
+            return
+
+    def flush(self) -> None:
+        """Flush buffered TNT bits (monitor is about to read the trace)."""
+        self._flush_tnt()

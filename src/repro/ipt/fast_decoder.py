@@ -1,0 +1,238 @@
+"""Fast (packet-layer) decoding: the engine behind FlowGuard's fast path.
+
+The fast decoder only parses packet *framing* — headers, TNT payloads,
+compressed IPs.  It never touches program binaries, which is what makes
+it orders of magnitude cheaper than the instruction-flow layer, at the
+price of not knowing what instruction produced each packet.
+
+PSB packets reset IP compression, so any PSB is a valid entry point:
+``fast_decode_parallel`` splits the stream at PSBs and decodes segments
+independently, modelling the parallel decode of §5.3; its
+``critical_path_cycles`` is the wall-clock cost with enough workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro import costs
+from repro.ipt.packets import (
+    DecodedPacket,
+    OVF_BYTE,
+    PAD_BYTE,
+    PSBEND_BYTE,
+    PSB_PATTERN,
+    PacketError,
+    PacketKind,
+    TNT_HEADER,
+    decode_tnt_payload,
+    decompress_ip,
+    ip_header_kind,
+)
+
+
+@dataclass(frozen=True)
+class TipRecord:
+    """One plain TIP packet: an indirect-branch/return target.
+
+    ``tnt_before`` holds the conditional-branch outcomes observed since
+    the previous TIP-family packet — the information the credit-labelled
+    ITC-CFG edges carry (§4.3).
+    ``after_far`` marks the first TIP following a far-transfer resume.
+    """
+
+    ip: int
+    tnt_before: Tuple[bool, ...]
+    offset: int
+    after_far: bool = False
+
+
+@dataclass
+class FastDecodeResult:
+    """Output of a packet-layer scan."""
+
+    packets: List[DecodedPacket]
+    cycles: float
+    synced_offset: int = 0
+    truncated: bool = False
+
+    def tip_records(self) -> List[TipRecord]:
+        """Plain-TIP targets with interleaved TNT context."""
+        records: List[TipRecord] = []
+        pending_tnt: List[bool] = []
+        after_far = False
+        for packet in self.packets:
+            if packet.kind is PacketKind.TNT:
+                pending_tnt.extend(packet.bits)
+            elif packet.kind is PacketKind.TIP:
+                records.append(
+                    TipRecord(
+                        ip=packet.ip,
+                        tnt_before=tuple(pending_tnt),
+                        offset=packet.offset,
+                        after_far=after_far,
+                    )
+                )
+                pending_tnt = []
+                after_far = False
+            elif packet.kind is PacketKind.TIP_PGE:
+                after_far = True
+        return records
+
+    def fup_ips(self) -> List[int]:
+        """All FUP source addresses (syscall sites + PSB context)."""
+        return [
+            p.ip
+            for p in self.packets
+            if p.kind is PacketKind.FUP and p.ip is not None
+        ]
+
+
+def sync_to_psb(data: bytes, start: int = 0) -> int:
+    """Offset of the first PSB at/after ``start``; -1 if none."""
+    return data.find(PSB_PATTERN, start)
+
+
+def fast_decode(
+    data: bytes,
+    sync: bool = False,
+    charge: bool = True,
+) -> FastDecodeResult:
+    """Scan a packet stream.
+
+    With ``sync=True`` (required after a ToPA wrap) decoding starts at
+    the first PSB.  A truncated final packet marks the result
+    ``truncated`` instead of raising — a snapshot may end mid-packet
+    only if the producer was interrupted, and real decoders tolerate it.
+    """
+    pos = 0
+    if sync:
+        pos = sync_to_psb(data)
+        if pos < 0:
+            return FastDecodeResult([], 0.0, synced_offset=len(data))
+    synced = pos
+    packets: List[DecodedPacket] = []
+    last_ip = 0
+    size = len(data)
+    truncated = False
+
+    while pos < size:
+        header = data[pos]
+        if header == PAD_BYTE:
+            pos += 1
+            continue
+        if data.startswith(PSB_PATTERN, pos):
+            packets.append(DecodedPacket(PacketKind.PSB, pos))
+            last_ip = 0
+            pos += len(PSB_PATTERN)
+            continue
+        if header == PSBEND_BYTE:
+            packets.append(DecodedPacket(PacketKind.PSBEND, pos))
+            pos += 1
+            continue
+        if header == OVF_BYTE:
+            packets.append(DecodedPacket(PacketKind.OVF, pos))
+            pos += 1
+            continue
+        if header == TNT_HEADER:
+            if pos + 2 > size:
+                truncated = True
+                break
+            packets.append(
+                DecodedPacket(
+                    PacketKind.TNT,
+                    pos,
+                    bits=decode_tnt_payload(data[pos + 1]),
+                )
+            )
+            pos += 2
+            continue
+        kind = ip_header_kind(header)
+        if kind is not None:
+            if pos + 2 > size:
+                truncated = True
+                break
+            width = data[pos + 1]
+            if pos + 2 + width > size:
+                truncated = True
+                break
+            if width == 0:
+                ip: Optional[int] = None
+            else:
+                ip = decompress_ip(data[pos + 2 : pos + 2 + width], last_ip)
+                last_ip = ip
+            packets.append(DecodedPacket(kind, pos, ip=ip))
+            pos += 2 + width
+            continue
+        if PSB_PATTERN.startswith(data[pos:]):
+            # The buffer ends inside a PSB pattern: a clean truncation,
+            # not a desync.
+            truncated = True
+            break
+        raise PacketError(
+            f"desynchronised at offset {pos}: header {header:#04x}"
+        )
+
+    cycles = (
+        (pos - synced) * costs.FAST_DECODE_CYCLES_PER_BYTE if charge else 0.0
+    )
+    return FastDecodeResult(
+        packets, cycles, synced_offset=synced, truncated=truncated
+    )
+
+
+@dataclass
+class ParallelDecodeResult(FastDecodeResult):
+    """Combined result of a PSB-parallel decode."""
+
+    segments: int = 1
+    critical_path_cycles: float = 0.0
+
+
+def fast_decode_parallel(data: bytes, sync: bool = False
+                         ) -> ParallelDecodeResult:
+    """Split at PSB boundaries and decode segments independently.
+
+    Total ``cycles`` is the work done; ``critical_path_cycles`` is the
+    slowest segment — the latency with one worker per segment, the §5.3
+    "can be done in parallel" acceleration.
+    """
+    start = 0
+    if sync:
+        start = sync_to_psb(data)
+        if start < 0:
+            return ParallelDecodeResult([], 0.0, synced_offset=len(data))
+    boundaries = [start]
+    pos = start
+    while True:
+        nxt = sync_to_psb(data, pos + len(PSB_PATTERN))
+        if nxt < 0:
+            break
+        boundaries.append(nxt)
+        pos = nxt
+    boundaries.append(len(data))
+
+    packets: List[DecodedPacket] = []
+    total = 0.0
+    critical = 0.0
+    segment_count = 0
+    for begin, end in zip(boundaries, boundaries[1:]):
+        if begin >= end:
+            continue
+        segment = fast_decode(data[begin:end])
+        # Re-base offsets to the full stream.
+        packets.extend(
+            DecodedPacket(p.kind, p.offset + begin, bits=p.bits, ip=p.ip)
+            for p in segment.packets
+        )
+        total += segment.cycles
+        critical = max(critical, segment.cycles)
+        segment_count += 1
+    return ParallelDecodeResult(
+        packets,
+        total,
+        synced_offset=start,
+        segments=max(segment_count, 1),
+        critical_path_cycles=critical,
+    )

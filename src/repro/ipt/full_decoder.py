@@ -1,0 +1,271 @@
+"""Full decode: the instruction-flow layer of abstraction.
+
+Models Intel's reference decoder library: reconstructing the exact
+execution flow requires parsing the *program binaries* instruction by
+instruction and combining them with the packet stream — each conditional
+branch consumes a TNT bit, each indirect branch consumes a TIP, each far
+transfer consumes its FUP/PGD/PGE group.  Every instruction walked
+charges :data:`repro.costs.FULL_DECODE_CYCLES_PER_INSN`, which is why
+decoding is orders of magnitude slower than tracing (§2: ~230x on
+SPECCPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro import costs
+from repro.cpu.events import CoFIKind
+from repro.cpu.memory import Memory, MemoryError_
+from repro.isa.encoding import DecodeError, decode_at, instruction_length
+from repro.isa.instructions import Insn, Op
+from repro.ipt.packets import DecodedPacket, PacketKind
+
+
+class TraceMismatch(Exception):
+    """Packet stream and binaries disagree (decoder desync)."""
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """One reconstructed control transfer."""
+
+    kind: CoFIKind
+    src: int
+    dst: int
+    taken: bool = True
+
+
+@dataclass
+class FullDecodeResult:
+    edges: List[FlowEdge]
+    insn_count: int
+    cycles: float
+    end_ip: Optional[int] = None
+    exhausted: bool = True  # packets fully consumed
+
+
+class _PacketCursor:
+    """Sequential packet consumption with PSB+ group skipping."""
+
+    def __init__(self, packets: List[DecodedPacket]) -> None:
+        self._packets = packets
+        self._index = 0
+        self._tnt_bits: List[bool] = []
+
+    def _advance_raw(self) -> Optional[DecodedPacket]:
+        if self._index >= len(self._packets):
+            return None
+        packet = self._packets[self._index]
+        self._index += 1
+        return packet
+
+    def _skip_psb_group(self) -> None:
+        """Consume context packets up to and including PSBEND."""
+        while self._index < len(self._packets):
+            packet = self._packets[self._index]
+            self._index += 1
+            if packet.kind is PacketKind.PSBEND:
+                return
+
+    def next_tnt_bit(self) -> Optional[bool]:
+        """Next conditional-branch outcome, or None at stream end."""
+        while not self._tnt_bits:
+            packet = self._advance_raw()
+            if packet is None:
+                return None
+            if packet.kind is PacketKind.PSB:
+                self._skip_psb_group()
+                continue
+            if packet.kind is PacketKind.TNT:
+                self._tnt_bits.extend(packet.bits)
+                continue
+            raise TraceMismatch(
+                f"expected TNT, found {packet.kind.value} at "
+                f"offset {packet.offset}"
+            )
+        return self._tnt_bits.pop(0)
+
+    def next_tip(self) -> Optional[int]:
+        """Next plain-TIP target, or None at stream end."""
+        if self._tnt_bits:
+            raise TraceMismatch("unconsumed TNT bits before a TIP")
+        while True:
+            packet = self._advance_raw()
+            if packet is None:
+                return None
+            if packet.kind is PacketKind.PSB:
+                self._skip_psb_group()
+                continue
+            if packet.kind is PacketKind.TIP:
+                return packet.ip
+            raise TraceMismatch(
+                f"expected TIP, found {packet.kind.value} at "
+                f"offset {packet.offset}"
+            )
+
+    def next_far_resume(self, expected_src: int) -> Optional[int]:
+        """Consume a FUP/TIP.PGD/TIP.PGE group; return the resume IP."""
+        if self._tnt_bits:
+            raise TraceMismatch("unconsumed TNT bits before a far transfer")
+        while True:
+            packet = self._advance_raw()
+            if packet is None:
+                return None
+            if packet.kind is PacketKind.PSB:
+                self._skip_psb_group()
+                continue
+            if packet.kind is not PacketKind.FUP:
+                raise TraceMismatch(
+                    f"expected FUP, found {packet.kind.value}"
+                )
+            if packet.ip != expected_src:
+                raise TraceMismatch(
+                    f"FUP {packet.ip:#x} does not match far-transfer "
+                    f"source {expected_src:#x}"
+                )
+            break
+        pgd = self._advance_raw()
+        if pgd is None:
+            return None
+        if pgd.kind is not PacketKind.TIP_PGD:
+            raise TraceMismatch(f"expected TIP.PGD, found {pgd.kind.value}")
+        pge = self._advance_raw()
+        if pge is None:
+            return None
+        if pge.kind is not PacketKind.TIP_PGE:
+            raise TraceMismatch(f"expected TIP.PGE, found {pge.kind.value}")
+        return pge.ip
+
+    def initial_ip(self) -> Optional[int]:
+        """Find the first PSB-context FUP or TIP.PGE to anchor decoding."""
+        while self._index < len(self._packets):
+            packet = self._packets[self._index]
+            self._index += 1
+            if packet.kind is PacketKind.PSB:
+                # The FUP inside the PSB+ group carries the current IP.
+                while self._index < len(self._packets):
+                    ctx = self._packets[self._index]
+                    self._index += 1
+                    if ctx.kind is PacketKind.FUP and ctx.ip is not None:
+                        # Consume the rest of the group.
+                        while (
+                            self._index < len(self._packets)
+                            and self._packets[self._index].kind
+                            is not PacketKind.PSBEND
+                        ):
+                            self._index += 1
+                        if self._index < len(self._packets):
+                            self._index += 1
+                        return ctx.ip
+                    if ctx.kind is PacketKind.PSBEND:
+                        break
+            elif packet.kind is PacketKind.TIP_PGE and packet.ip is not None:
+                return packet.ip
+        return None
+
+
+class FullDecoder:
+    """Reconstructs exact control flow from packets + binaries."""
+
+    def __init__(self, memory: Memory, max_insns: int = 5_000_000) -> None:
+        self.memory = memory
+        self.max_insns = max_insns
+        self._icache: Dict[int, Tuple[Insn, int]] = {}
+
+    def _fetch(self, ip: int) -> Tuple[Insn, int]:
+        cached = self._icache.get(ip)
+        if cached is not None:
+            return cached
+        try:
+            header = self.memory.read_raw(ip, 1)
+            length = instruction_length(Op(header[0]))
+            raw = self.memory.read_raw(ip, length)
+            insn, _ = decode_at(raw, 0)
+        except (MemoryError_, DecodeError, ValueError) as exc:
+            raise TraceMismatch(
+                f"cannot disassemble at {ip:#x}: {exc}"
+            ) from exc
+        self._icache[ip] = (insn, length)
+        return insn, length
+
+    def decode(
+        self,
+        packets: List[DecodedPacket],
+        start_ip: Optional[int] = None,
+    ) -> FullDecodeResult:
+        """Walk the binaries under the guidance of the packet stream.
+
+        Decoding anchors at ``start_ip`` or at the first PSB-context
+        FUP / TIP.PGE in the stream, and ends when packets run out.
+        """
+        cursor = _PacketCursor(packets)
+        ip = start_ip if start_ip is not None else cursor.initial_ip()
+        edges: List[FlowEdge] = []
+        insn_count = 0
+        if ip is None:
+            return FullDecodeResult(edges, 0, 0.0, exhausted=True)
+
+        while insn_count < self.max_insns:
+            insn, length = self._fetch(ip)
+            insn_count += 1
+            op = insn.op
+            next_ip = ip + length
+
+            if op is Op.HALT:
+                return self._finish(edges, insn_count, ip, True)
+            if op is Op.JMP:
+                target = next_ip + insn.rel
+                edges.append(FlowEdge(CoFIKind.DIRECT_JMP, ip, target))
+                ip = target
+                continue
+            if op is Op.CALL:
+                target = next_ip + insn.rel
+                edges.append(FlowEdge(CoFIKind.DIRECT_CALL, ip, target))
+                ip = target
+                continue
+            if op is Op.JCC:
+                bit = cursor.next_tnt_bit()
+                if bit is None:
+                    return self._finish(edges, insn_count, ip, True)
+                target = next_ip + insn.rel if bit else next_ip
+                edges.append(
+                    FlowEdge(CoFIKind.COND_BRANCH, ip, target, taken=bit)
+                )
+                ip = target
+                continue
+            if op in (Op.JMPR, Op.CALLR, Op.RET):
+                target = cursor.next_tip()
+                if target is None:
+                    return self._finish(edges, insn_count, ip, True)
+                kind = {
+                    Op.JMPR: CoFIKind.INDIRECT_JMP,
+                    Op.CALLR: CoFIKind.INDIRECT_CALL,
+                    Op.RET: CoFIKind.RET,
+                }[op]
+                edges.append(FlowEdge(kind, ip, target))
+                ip = target
+                continue
+            if op is Op.SYSCALL:
+                resume = cursor.next_far_resume(ip)
+                if resume is None:
+                    return self._finish(edges, insn_count, ip, True)
+                edges.append(FlowEdge(CoFIKind.FAR_TRANSFER, ip, resume))
+                ip = resume
+                continue
+            ip = next_ip
+
+        # Fell out on the instruction budget (or HALT): packets may remain.
+        return self._finish(edges, insn_count, ip, False)
+
+    def _finish(
+        self, edges: List[FlowEdge], insn_count: int, ip: int, exhausted: bool
+    ) -> FullDecodeResult:
+        return FullDecodeResult(
+            edges=edges,
+            insn_count=insn_count,
+            cycles=insn_count * costs.FULL_DECODE_CYCLES_PER_INSN,
+            end_ip=ip,
+            exhausted=exhausted,
+        )

@@ -1,0 +1,92 @@
+"""RTIT model-specific register model (IA32_RTIT_* family).
+
+IPT can only be configured by a privileged agent through MSRs (§2).
+:class:`RTIT_CTL` models the primary enable/control register with the
+bit fields FlowGuard programs in §5.1; :class:`IPTConfig` is the decoded
+view the packetizer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class RTIT_CTL:
+    """Bit positions in IA32_RTIT_CTL."""
+
+    TRACE_EN = 1 << 0
+    OS = 1 << 2
+    USER = 1 << 3
+    FABRIC_EN = 1 << 6
+    CR3_FILTER = 1 << 7
+    TOPA = 1 << 8
+    BRANCH_EN = 1 << 13
+
+
+@dataclass
+class IPTConfig:
+    """Decoded trace-configuration state for one core.
+
+    ``flowguard_defaults`` reflects §5.1: TraceEn+BranchEn set, OS bit
+    cleared / User bit set (user-level flow only), CR3 filtering enabled
+    against the protected process, FabricEn cleared (output to the
+    memory subsystem) and ToPA output.
+    """
+
+    ctl: int = 0
+    cr3_match: int = 0
+    psb_period: int = 256  # bytes of output between PSB sync points
+
+    @classmethod
+    def flowguard_defaults(cls, cr3: int) -> "IPTConfig":
+        config = cls()
+        config.write_ctl(
+            RTIT_CTL.TRACE_EN
+            | RTIT_CTL.BRANCH_EN
+            | RTIT_CTL.USER
+            | RTIT_CTL.CR3_FILTER
+            | RTIT_CTL.TOPA
+        )
+        config.cr3_match = cr3
+        return config
+
+    # -- MSR-style accessors ------------------------------------------------
+
+    def write_ctl(self, value: int) -> None:
+        self.ctl = value
+
+    def write_cr3_match(self, value: int) -> None:
+        self.cr3_match = value
+
+    # -- decoded view ----------------------------------------------------------
+
+    @property
+    def trace_enabled(self) -> bool:
+        return bool(self.ctl & RTIT_CTL.TRACE_EN)
+
+    @property
+    def branch_enabled(self) -> bool:
+        return bool(self.ctl & RTIT_CTL.BRANCH_EN)
+
+    @property
+    def trace_os(self) -> bool:
+        return bool(self.ctl & RTIT_CTL.OS)
+
+    @property
+    def trace_user(self) -> bool:
+        return bool(self.ctl & RTIT_CTL.USER)
+
+    @property
+    def cr3_filtering(self) -> bool:
+        return bool(self.ctl & RTIT_CTL.CR3_FILTER)
+
+    @property
+    def topa_output(self) -> bool:
+        return bool(self.ctl & RTIT_CTL.TOPA)
+
+    def accepts_cr3(self, cr3: Optional[int]) -> bool:
+        """Whether the current CR3 passes the filter."""
+        if not self.cr3_filtering:
+            return True
+        return cr3 == self.cr3_match

@@ -1,0 +1,161 @@
+"""IPT packet byte formats.
+
+The wire format is modelled on real Intel PT with simplified headers:
+
+==========  =========================  =====================================
+packet      encoding                   meaning
+==========  =========================  =====================================
+PAD         ``00``                     padding
+TNT         ``02 PP``                  up to 6 taken/not-taken bits in PP;
+                                       the highest set bit of PP is a stop
+                                       marker, bits below it are branch
+                                       outcomes, oldest in the MSB position
+TIP         ``0D NN <NN bytes>``       target IP of an indirect branch or
+                                       near return; NN low-order IP bytes,
+                                       upper bytes inherited from the
+                                       last IP (IP compression)
+TIP.PGE     ``11 NN <NN bytes>``       tracing (re-)enabled at IP
+TIP.PGD     ``21 NN <NN bytes>``       tracing disabled (NN may be 0:
+                                       "IP suppressed")
+FUP         ``1D NN <NN bytes>``       source IP of an asynchronous event,
+                                       also emitted after PSB to publish
+                                       the current IP
+PSB         ``82 02`` x4               stream synchronisation boundary;
+                                       resets IP compression state
+PSBEND      ``23``                     end of PSB+ context packets
+OVF         ``F3``                     output buffer overflow
+==========  =========================  =====================================
+
+Like the real encoding, *the packet stream never says what kind of
+instruction produced a TIP* — a ret, an indirect call and an indirect
+jump are indistinguishable at the packet layer (§3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+PAD_BYTE = 0x00
+TNT_HEADER = 0x02
+TIP_HEADER = 0x0D
+TIP_PGE_HEADER = 0x11
+TIP_PGD_HEADER = 0x21
+FUP_HEADER = 0x1D
+PSBEND_BYTE = 0x23
+OVF_BYTE = 0xF3
+
+#: PSB sync pattern.  Real IPT uses a 16-byte alternating pattern so that
+#: payload bytes cannot alias a full boundary; 8 bytes keeps the same
+#: property at our packet sizes.
+PSB_PATTERN = bytes([0x82, 0x02] * 4)
+
+#: Allowed IP payload widths (bytes), mirroring IPBytes compression.
+IP_WIDTHS = (0, 1, 2, 4, 6, 8)
+
+MAX_TNT_BITS = 6
+
+
+class PacketError(Exception):
+    """Malformed packet stream."""
+
+
+class PacketKind(enum.Enum):
+    TNT = "tnt"
+    TIP = "tip"
+    TIP_PGE = "tip.pge"
+    TIP_PGD = "tip.pgd"
+    FUP = "fup"
+    PSB = "psb"
+    PSBEND = "psbend"
+    OVF = "ovf"
+    PAD = "pad"
+
+
+_IP_HEADERS = {
+    TIP_HEADER: PacketKind.TIP,
+    TIP_PGE_HEADER: PacketKind.TIP_PGE,
+    TIP_PGD_HEADER: PacketKind.TIP_PGD,
+    FUP_HEADER: PacketKind.FUP,
+}
+
+
+@dataclass(frozen=True)
+class DecodedPacket:
+    """One packet as seen by the fast (packet-layer) decoder."""
+
+    kind: PacketKind
+    offset: int
+    #: TNT payload, oldest branch first.
+    bits: Tuple[bool, ...] = ()
+    #: Reconstructed IP for TIP/FUP-family packets (None if suppressed).
+    ip: Optional[int] = None
+
+
+def encode_tnt(bits: Tuple[bool, ...]) -> bytes:
+    """Encode up to 6 TNT bits into a 2-byte TNT packet."""
+    if not 0 < len(bits) <= MAX_TNT_BITS:
+        raise PacketError(f"TNT packet must carry 1..6 bits, got {len(bits)}")
+    payload = 1
+    for bit in bits:
+        payload = (payload << 1) | (1 if bit else 0)
+    return bytes([TNT_HEADER, payload])
+
+
+def decode_tnt_payload(payload: int) -> Tuple[bool, ...]:
+    """Decode a TNT payload byte into branch bits, oldest first."""
+    if payload <= 1 or payload > 0x7F:
+        raise PacketError(f"invalid TNT payload {payload:#x}")
+    bits = []
+    marker_seen = False
+    for position in range(7, -1, -1):
+        bit = (payload >> position) & 1
+        if not marker_seen:
+            if bit:
+                marker_seen = True
+            continue
+        bits.append(bool(bit))
+    return tuple(bits)
+
+
+def compress_ip(target: int, last_ip: int) -> Tuple[int, bytes]:
+    """Choose the minimal IP payload width for ``target``.
+
+    Returns ``(width, payload_bytes)`` such that patching the ``width``
+    low-order bytes of ``last_ip`` with the payload reconstructs
+    ``target`` — the IPBytes compression scheme.
+    """
+    for width in IP_WIDTHS[1:]:
+        mask = (1 << (8 * width)) - 1
+        if (last_ip & ~mask) == (target & ~mask):
+            return width, (target & mask).to_bytes(width, "little")
+    raise PacketError(f"cannot encode IP {target:#x}")  # pragma: no cover
+
+
+def decompress_ip(payload: bytes, last_ip: int) -> int:
+    """Inverse of :func:`compress_ip`."""
+    width = len(payload)
+    if width == 0:
+        return last_ip
+    mask = (1 << (8 * width)) - 1
+    return (last_ip & ~mask) | int.from_bytes(payload, "little")
+
+
+def encode_ip_packet(header: int, target: Optional[int],
+                     last_ip: int) -> Tuple[bytes, int]:
+    """Encode a TIP/FUP-family packet.
+
+    Returns the bytes and the new ``last_ip``.  ``target=None`` emits an
+    IP-suppressed packet (width 0), leaving ``last_ip`` unchanged.
+    """
+    if header not in _IP_HEADERS:
+        raise PacketError(f"not an IP packet header: {header:#x}")
+    if target is None:
+        return bytes([header, 0]), last_ip
+    width, payload = compress_ip(target, last_ip)
+    return bytes([header, width]) + payload, target
+
+
+def ip_header_kind(header: int) -> Optional[PacketKind]:
+    return _IP_HEADERS.get(header)

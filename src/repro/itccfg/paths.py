@@ -1,0 +1,84 @@
+"""High-credit path matching — the paper's future-work extension.
+
+§7.1.2: "We can also make the fast path more context-sensitive by
+matching the high-credit paths, each of which consisting of multiple
+consecutive high-credit edges.  This can significantly strengthen the
+security of fast path, however, it may introduce larger number of slow
+path checking; we leave this as our future work."
+
+The implementation records every *k-gram* of consecutive IT-BBs
+observed during training.  At runtime the fast path additionally
+requires each k-gram in the checked window to have been trained —
+an attacker stitching individually-trained edges into a novel order is
+demoted to the slow path even though every single edge looks credible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+
+@dataclass
+class PathIndex:
+    """Trained k-grams of consecutive TIP targets."""
+
+    gram: int = 4
+    _grams: Set[Tuple[int, ...]] = field(default_factory=set)
+    #: shorter prefixes at trace starts are also trained, so windows
+    #: beginning mid-path do not false-demote.
+    _suffixes: Set[Tuple[int, ...]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.gram < 2:
+            raise ValueError("path grams need at least two nodes")
+
+    # -- training ----------------------------------------------------------
+
+    def observe_sequence(self, nodes: Sequence[int]) -> int:
+        """Record all k-grams of a training trace; returns #new grams."""
+        added = 0
+        nodes = list(nodes)
+        for start in range(len(nodes) - self.gram + 1):
+            window = tuple(nodes[start : start + self.gram])
+            if window not in self._grams:
+                self._grams.add(window)
+                added += 1
+        # Every proper suffix of a trained gram is a legal window start.
+        for window in list(self._grams):
+            for cut in range(1, self.gram - 1):
+                self._suffixes.add(window[cut:])
+        return added
+
+    # -- checking -----------------------------------------------------------
+
+    def contains(self, window: Sequence[int]) -> bool:
+        window = tuple(window)
+        if len(window) == self.gram:
+            return window in self._grams
+        if len(window) < self.gram:
+            return window in self._suffixes or any(
+                gram[: len(window)] == window for gram in self._grams
+            )
+        return all(
+            self.contains(window[i : i + self.gram])
+            for i in range(len(window) - self.gram + 1)
+        )
+
+    def untrained_grams(self, nodes: Sequence[int]
+                        ) -> List[Tuple[int, ...]]:
+        """The k-grams of ``nodes`` never seen in training."""
+        nodes = list(nodes)
+        out: List[Tuple[int, ...]] = []
+        for start in range(len(nodes) - self.gram + 1):
+            window = tuple(nodes[start : start + self.gram])
+            if window not in self._grams:
+                out.append(window)
+        return out
+
+    @property
+    def trained_gram_count(self) -> int:
+        return len(self._grams)
+
+    def memory_bytes(self) -> int:
+        return 8 * self.gram * len(self._grams)

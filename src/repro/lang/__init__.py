@@ -1,0 +1,79 @@
+"""A mini structured language compiled to the repro ISA.
+
+The paper's workloads are C programs; this package is the stand-in
+toolchain.  It compiles functions built from expressions/statements into
+module code with conventional stack frames (saved FP + return address on
+the stack, locals below), so that:
+
+- buffer overflows into local arrays clobber return addresses exactly as
+  in compiled C (the ROP entry point),
+- ``switch`` statements become indirect jumps through in-data jump
+  tables, and function pointers flow through registers (the forward-edge
+  attack surface), and
+- the emitted CFGs have the direct/conditional/indirect branch mix that
+  drives the paper's AIA and overhead numbers.
+"""
+
+from repro.lang.ast import (
+    AddrOf,
+    Asm,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    CallPtr,
+    Const,
+    Continue,
+    Expr,
+    ExprStmt,
+    Func,
+    FuncRef,
+    Global,
+    If,
+    Let,
+    LocalArray,
+    Load,
+    Rel,
+    Return,
+    Stmt,
+    Store,
+    Switch,
+    SyscallExpr,
+    Var,
+    While,
+    as_stmt,
+)
+from repro.lang.compiler import CompileError, Compiler, Program
+
+__all__ = [
+    "AddrOf",
+    "Asm",
+    "Assign",
+    "BinOp",
+    "Break",
+    "Call",
+    "CallPtr",
+    "CompileError",
+    "Compiler",
+    "Const",
+    "Continue",
+    "Expr",
+    "ExprStmt",
+    "Func",
+    "FuncRef",
+    "Global",
+    "If",
+    "Let",
+    "LocalArray",
+    "Load",
+    "Program",
+    "Rel",
+    "Return",
+    "Stmt",
+    "Store",
+    "Switch",
+    "SyscallExpr",
+    "Var",
+    "While",
+    "as_stmt",
+]

@@ -1,0 +1,30 @@
+"""The FlowGuard runtime monitor (§5).
+
+A kernel module that (i) configures IPT to trace the protected process
+(CR3-filtered, user-only, ToPA output), (ii) intercepts the
+security-sensitive syscall endpoints by swapping syscall-table entries,
+and (iii) checks the traced flow — fast path first (packet-layer decode
+searched over the credit-labelled ITC-CFG), falling back to the slow
+path (full instruction-flow decode + fine-grained forward edges +
+shadow stack) when a low-credit edge or unseen TNT pattern appears.
+"""
+
+from repro.monitor.policy import FlowGuardPolicy
+from repro.monitor.fastpath import FastPathChecker, FastPathResult, Verdict
+from repro.monitor.shadowstack import ShadowStack, ShadowStackViolation
+from repro.monitor.slowpath import SlowPathEngine, SlowPathResult
+from repro.monitor.flowguard import Detection, FlowGuardMonitor, ProtectedProcess
+
+__all__ = [
+    "Detection",
+    "FastPathChecker",
+    "FastPathResult",
+    "FlowGuardMonitor",
+    "FlowGuardPolicy",
+    "ProtectedProcess",
+    "ShadowStack",
+    "ShadowStackViolation",
+    "SlowPathEngine",
+    "SlowPathResult",
+    "Verdict",
+]

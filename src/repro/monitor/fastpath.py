@@ -1,0 +1,210 @@
+"""The fast path (§5.3): packet-layer decode + ITC-CFG search.
+
+The checker decodes only the *tail* of the ToPA buffer — scanning
+backward for the nearest PSB sync point that yields enough TIP packets
+and the required module coverage — then verifies every consecutive TIP
+pair against the credit-labelled ITC-CFG:
+
+- a pair with no ITC edge  -> **VIOLATION** (attack, no false positives),
+- all edges high-credit with matching TNT -> **PASS**,
+- otherwise -> **SUSPICIOUS**, forwarded to the slow path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.binary.loader import Image
+from repro.ipt.fast_decoder import TipRecord, fast_decode, sync_to_psb
+from repro.ipt.packets import DecodedPacket, PSB_PATTERN, PacketKind
+from repro.itccfg.credits import CreditLevel
+from repro.itccfg.paths import PathIndex
+from repro.itccfg.searchindex import FlowSearchIndex
+
+
+class Verdict(enum.Enum):
+    PASS = "pass"
+    SUSPICIOUS = "suspicious"  # run the slow path
+    VIOLATION = "violation"  # attack detected
+    INSUFFICIENT = "insufficient"  # not enough trace to judge
+
+
+@dataclass
+class FastPathResult:
+    verdict: Verdict
+    checked_pairs: int = 0
+    low_credit_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    violation_edge: Optional[Tuple[int, int]] = None
+    decode_cycles: float = 0.0
+    search_cycles: float = 0.0
+    #: the decoded window, for hand-off to the slow path.
+    window: List[TipRecord] = field(default_factory=list)
+    window_offset: int = 0  # stream offset the window decode started at
+    #: raw packets of the decoded tail (slow-path input).
+    packets: list = field(default_factory=list)
+
+    def slow_path_packets(self) -> list:
+        """Packets for slow-path hand-off: from the PSB sync point
+        nearest *before* the checked window, not the whole tail — the
+        slow path only needs to reconstruct the suspicious region."""
+        if not self.window:
+            return self.packets
+        window_start = self.window[0].offset
+        begin = 0
+        for index, packet in enumerate(self.packets):
+            if packet.offset > window_start:
+                break
+            if packet.kind is PacketKind.PSB:
+                begin = index
+        return self.packets[begin:]
+
+
+class FastPathChecker:
+    """Stateless checking logic over a search index."""
+
+    def __init__(
+        self,
+        index: FlowSearchIndex,
+        image: Image,
+        pkt_count: int = 30,
+        cred_ratio: float = 1.0,
+        require_cross_module: bool = True,
+        require_executable: bool = True,
+        path_index: "PathIndex | None" = None,
+    ) -> None:
+        self.index = index
+        self.image = image
+        self.pkt_count = pkt_count
+        self.cred_ratio = cred_ratio
+        self.require_cross_module = require_cross_module
+        self.require_executable = require_executable
+        #: optional context-sensitive extension: trained k-gram paths.
+        self.path_index = path_index
+
+    # -- tail decoding -------------------------------------------------------
+
+    def _psb_offsets(self, data: bytes) -> List[int]:
+        offsets = []
+        pos = 0
+        while True:
+            pos = sync_to_psb(data, pos)
+            if pos < 0:
+                break
+            offsets.append(pos)
+            pos += len(PSB_PATTERN)
+        return offsets
+
+    def decode_tail(self, data: bytes):
+        """Decode backward-growing tail windows until requirements hold.
+
+        Returns (records, packets, decode_cycles, start_offset).  Only
+        the bytes actually decoded are charged — the §5.3 point that the
+        whole ToPA buffer need not be decoded.
+        """
+        offsets = self._psb_offsets(data)
+        if not offsets:
+            return [], [], 0.0, len(data)
+
+        def rebased(result, start):
+            records = [
+                TipRecord(r.ip, r.tnt_before, r.offset + start,
+                          r.after_far)
+                for r in result.tip_records()
+            ]
+            packets = [
+                DecodedPacket(p.kind, p.offset + start, bits=p.bits,
+                              ip=p.ip)
+                for p in result.packets
+            ]
+            return records, packets
+
+        cycles = 0.0
+        for start in reversed(offsets):
+            result = fast_decode(data[start:])
+            cycles = result.cycles
+            records, packets = rebased(result, start)
+            if len(records) > self.pkt_count and self._spans_modules(records):
+                return records, packets, cycles, start
+        result = fast_decode(data[offsets[0]:])
+        records, packets = rebased(result, offsets[0])
+        return records, packets, result.cycles, offsets[0]
+
+    def _spans_modules(self, records: List[TipRecord]) -> bool:
+        if not (self.require_cross_module or self.require_executable):
+            return True
+        modules = set()
+        has_exec = False
+        for record in records[-(self.pkt_count + 1):]:
+            lm = self.image.module_of(record.ip)
+            if lm is None:
+                continue
+            modules.add(lm.name)
+            if lm.is_executable:
+                has_exec = True
+        if self.require_executable and not has_exec:
+            return False
+        if self.require_cross_module and len(modules) < 2:
+            return False
+        return True
+
+    # -- checking -----------------------------------------------------------------
+
+    def check(self, data: bytes) -> FastPathResult:
+        """Run the fast path over a ToPA snapshot."""
+        records, packets, decode_cycles, start = self.decode_tail(data)
+        if len(records) < 2:
+            return FastPathResult(
+                Verdict.INSUFFICIENT,
+                decode_cycles=decode_cycles,
+                window=records,
+                window_offset=start,
+                packets=packets,
+            )
+        window = records[-(self.pkt_count + 1):]
+        search_before = self.index.cycles
+        low_credit: List[Tuple[int, int]] = []
+        checked = 0
+        for prev, cur in zip(window, window[1:]):
+            lookup = self.index.check_edge(prev.ip, cur.ip, cur.tnt_before)
+            checked += 1
+            if not lookup.in_graph:
+                return FastPathResult(
+                    Verdict.VIOLATION,
+                    checked_pairs=checked,
+                    violation_edge=(prev.ip, cur.ip),
+                    decode_cycles=decode_cycles,
+                    search_cycles=self.index.cycles - search_before,
+                    window=window,
+                    window_offset=start,
+                    packets=packets,
+                )
+            if lookup.credit is not CreditLevel.HIGH or not lookup.tnt_ok:
+                low_credit.append((prev.ip, cur.ip))
+        search_cycles = self.index.cycles - search_before
+        high = checked - len(low_credit)
+        ratio = high / checked if checked else 0.0
+        verdict = (
+            Verdict.PASS if ratio >= self.cred_ratio else Verdict.SUSPICIOUS
+        )
+        if verdict is Verdict.PASS and self.path_index is not None:
+            # Path-sensitive extension: the node sequence itself must
+            # have been trained, not just the individual edges.
+            nodes = [record.ip for record in window]
+            untrained = self.path_index.untrained_grams(nodes)
+            if untrained:
+                verdict = Verdict.SUSPICIOUS
+                low_credit.extend(
+                    (gram[0], gram[1]) for gram in untrained[:4]
+                )
+        return FastPathResult(
+            verdict,
+            checked_pairs=checked,
+            low_credit_pairs=low_credit,
+            decode_cycles=decode_cycles,
+            search_cycles=search_cycles,
+            window=window,
+            window_offset=start,
+            packets=packets,
+        )

@@ -1,0 +1,370 @@
+"""The FlowGuard kernel module (§5): per-process protection state,
+syscall-table interception, fast/slow-path dispatch, enforcement.
+
+Protection lifecycle::
+
+    kernel = Kernel()
+    monitor = FlowGuardMonitor(kernel)
+    monitor.install()                       # swap endpoint handlers
+    proc = kernel.spawn("nginx")
+    monitor.protect(proc, labeled_itc, ocfg)  # configure IPT + CFGs
+    kernel.run(proc)
+    monitor.detections                      # CFI verdicts
+
+On a violation the process is SIGKILLed and the detection reported —
+the paper's enforcement action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import costs
+from repro.analysis.cfg import ControlFlowGraph
+from repro.ipt.encoder import IPTEncoder
+from repro.ipt.msr import IPTConfig
+from repro.ipt.topa import ToPA
+from repro.itccfg.credits import CreditLabeledITC
+from repro.itccfg.searchindex import FlowSearchIndex
+from repro.monitor.fastpath import FastPathChecker, FastPathResult, Verdict
+from repro.monitor.policy import FlowGuardPolicy
+from repro.monitor.slowpath import SlowPathEngine
+from repro.osmodel.kernel import Kernel
+from repro.osmodel.process import Process
+from repro.osmodel.syscalls import SIGKILL, Sys
+
+
+@dataclass
+class Detection:
+    """One reported CFI violation."""
+
+    pid: int
+    syscall_nr: int
+    path: str  # "fast" or "slow"
+    reason: str
+    edge: Optional[tuple] = None
+
+
+@dataclass
+class MonitorStats:
+    """Cycle breakdown per protected process (Figure 5 phases)."""
+
+    trace_cycles: float = 0.0
+    decode_cycles: float = 0.0
+    check_cycles: float = 0.0
+    other_cycles: float = 0.0
+    checks: int = 0
+    fast_passes: int = 0
+    slow_path_runs: int = 0
+    pmi_count: int = 0
+    edges_checked: int = 0
+    low_credit_edges: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.trace_cycles
+            + self.decode_cycles
+            + self.check_cycles
+            + self.other_cycles
+        )
+
+    @property
+    def slow_path_rate(self) -> float:
+        return self.slow_path_runs / self.checks if self.checks else 0.0
+
+    @property
+    def high_credit_edge_ratio(self) -> float:
+        """Fraction of checked ITC edges that held a high credit —
+        the Figure 5d cred-ratio metric."""
+        if not self.edges_checked:
+            return 0.0
+        return 1.0 - self.low_credit_edges / self.edges_checked
+
+
+@dataclass
+class ProtectedProcess:
+    """Per-process protection state."""
+
+    process: Process
+    config: IPTConfig
+    topa: ToPA
+    encoder: IPTEncoder
+    labeled: CreditLabeledITC
+    index: FlowSearchIndex
+    checker: FastPathChecker
+    slow: SlowPathEngine
+    stats: MonitorStats = field(default_factory=MonitorStats)
+
+
+class FlowGuardMonitor:
+    """The kernel module: owns interception and per-process state."""
+
+    def __init__(
+        self, kernel: Kernel, policy: Optional[FlowGuardPolicy] = None
+    ) -> None:
+        self.kernel = kernel
+        self.policy = policy if policy is not None else FlowGuardPolicy()
+        self.detections: List[Detection] = []
+        self._protected: Dict[int, ProtectedProcess] = {}  # by CR3
+        self._originals: Dict[int, object] = {}
+        self._installed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install(self) -> None:
+        """Swap the endpoint syscall-table entries (§5.2)."""
+        if self._installed:
+            return
+        for nr in self.policy.endpoints:
+            original = self.kernel.install_handler(
+                nr, self._make_wrapper(nr)
+            )
+            self._originals[nr] = original
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Restore the original syscall table."""
+        for nr, original in self._originals.items():
+            self.kernel.install_handler(nr, original)
+        self._originals.clear()
+        self._installed = False
+
+    def protect(
+        self,
+        process: Process,
+        labeled: CreditLabeledITC,
+        ocfg: ControlFlowGraph,
+        path_index=None,
+    ) -> ProtectedProcess:
+        """Start tracing and checking a process.
+
+        Configures the RTIT MSRs with the paper's §5.1 settings (CR3
+        filter on the target, user-only, ToPA output with two regions)
+        and subscribes the packetizer to the CPU's CoFI bus.
+        """
+        config = IPTConfig.flowguard_defaults(process.cr3)
+        if self.policy.psb_period:
+            config.psb_period = self.policy.psb_period
+        pp_holder: List[ProtectedProcess] = []
+
+        def on_pmi() -> None:
+            if pp_holder:
+                self._on_pmi(pp_holder[0])
+
+        topa = ToPA.flowguard_default(pmi_callback=on_pmi)
+        encoder = IPTEncoder(
+            config, output=topa,
+            current_cr3=lambda p=process: p.cr3,
+        )
+        index = FlowSearchIndex(labeled)
+        checker = FastPathChecker(
+            index,
+            process.image,
+            pkt_count=self.policy.pkt_count,
+            cred_ratio=self.policy.cred_ratio,
+            require_cross_module=self.policy.require_cross_module,
+            require_executable=self.policy.require_executable,
+            path_index=path_index if self.policy.path_sensitive else None,
+        )
+        slow = SlowPathEngine(process.machine.memory, ocfg)
+        pp = ProtectedProcess(
+            process=process,
+            config=config,
+            topa=topa,
+            encoder=encoder,
+            labeled=labeled,
+            index=index,
+            checker=checker,
+            slow=slow,
+        )
+        pp_holder.append(pp)
+        process.executor.add_listener(encoder.on_branch)
+        self._protected[process.cr3] = pp
+        return pp
+
+    def auto_protect(
+        self,
+        program: str,
+        labeled: CreditLabeledITC,
+        ocfg: ControlFlowGraph,
+        path_index=None,
+    ) -> None:
+        """Protect every current and future instance of ``program``.
+
+        Hooks process creation (spawn, fork, execve) so forked workers
+        and exec'd children are traced from their first instruction —
+        the multi-process scenario §6's multi-CR3 suggestion targets.
+        Each instance gets its own IPT unit and ToPA (as on real
+        hardware, one per core), all checked against the shared trained
+        CFG.
+        """
+
+        def hook(proc: Process) -> None:
+            if proc.name == program and self.protected_for(proc) is None:
+                self.protect(proc, labeled, ocfg, path_index=path_index)
+
+        self.kernel.spawn_hooks.append(hook)
+        self.kernel.exec_stop_hooks.append(hook)
+        for proc in self.kernel.processes.values():
+            hook(proc)
+
+    def unprotect(self, process: Process) -> None:
+        pp = self._protected.pop(process.cr3, None)
+        if pp is not None:
+            try:
+                process.executor.remove_listener(pp.encoder.on_branch)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+
+    def protected_for(self, process: Process) -> Optional[ProtectedProcess]:
+        return self._protected.get(process.cr3)
+
+    # -- interception -----------------------------------------------------------
+
+    def _make_wrapper(self, nr: int):
+        def wrapper(kernel: Kernel, proc: Process):
+            # The installed handler first checks whether the syscall was
+            # issued by a protected process (CR3 / pid), §5.2.
+            pp = self._protected.get(proc.cr3)
+            if pp is None or pp.process.pid != proc.pid:
+                return self._originals[nr](kernel, proc)
+            verdict = self._run_check(pp, nr)
+            if verdict is Verdict.VIOLATION:
+                kernel.kill_process(proc, SIGKILL)
+                return -1
+            return self._originals[nr](kernel, proc)
+
+        return wrapper
+
+    # -- checking -----------------------------------------------------------------
+
+    def _run_check(self, pp: ProtectedProcess, nr: int) -> Verdict:
+        stats = pp.stats
+        stats.checks += 1
+        stats.other_cycles += costs.MONITOR_INTERCEPT_CYCLES
+        pp.encoder.flush()
+        data = pp.topa.snapshot()
+        result = pp.checker.check(data)
+        stats.decode_cycles += result.decode_cycles
+        stats.check_cycles += result.search_cycles
+        stats.edges_checked += result.checked_pairs
+        stats.low_credit_edges += len(result.low_credit_pairs)
+
+        if result.verdict is Verdict.VIOLATION:
+            self.detections.append(
+                Detection(
+                    pid=pp.process.pid,
+                    syscall_nr=nr,
+                    path="fast",
+                    reason=(
+                        "flow outside ITC-CFG: "
+                        f"{result.violation_edge[0]:#x} -> "
+                        f"{result.violation_edge[1]:#x}"
+                    ),
+                    edge=result.violation_edge,
+                )
+            )
+            return Verdict.VIOLATION
+
+        if result.verdict in (Verdict.PASS, Verdict.INSUFFICIENT):
+            stats.fast_passes += 1
+            return Verdict.PASS
+
+        # Suspicious: upcall into the slow path with the same window.
+        stats.slow_path_runs += 1
+        slow_result = pp.slow.check(
+            result.slow_path_packets(), window=result.window
+        )
+        stats.decode_cycles += (
+            slow_result.insns_decoded * costs.FULL_DECODE_CYCLES_PER_INSN
+        )
+        stats.check_cycles += max(
+            0.0,
+            slow_result.cycles
+            - costs.SLOWPATH_UPCALL_CYCLES
+            - slow_result.insns_decoded * costs.FULL_DECODE_CYCLES_PER_INSN,
+        )
+        stats.other_cycles += costs.SLOWPATH_UPCALL_CYCLES
+        if not slow_result.ok:
+            self.detections.append(
+                Detection(
+                    pid=pp.process.pid,
+                    syscall_nr=nr,
+                    path="slow",
+                    reason=slow_result.reason or "slow-path violation",
+                )
+            )
+            return Verdict.VIOLATION
+        if self.policy.cache_slow_path_negatives:
+            for src, dst, tnt in slow_result.confirmed_pairs:
+                pp.labeled.promote(src, dst, tnt)
+                pp.index.promote(src, dst, tnt)
+        return Verdict.PASS
+
+    def _on_pmi(self, pp: ProtectedProcess) -> None:
+        pp.stats.pmi_count += 1
+        if self.policy.check_on_pmi:
+            verdict = self._run_check(pp, -1)
+            if verdict is Verdict.VIOLATION:
+                self.kernel.kill_process(pp.process, SIGKILL)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def stats_for(self, process: Process) -> MonitorStats:
+        pp = self._protected.get(process.cr3)
+        if pp is None:
+            raise KeyError(f"process {process.pid} is not protected")
+        stats = pp.stats
+        stats.trace_cycles = pp.encoder.cycles
+        return stats
+
+    def report(self) -> dict:
+        """A JSON-compatible operational report across all protected
+        processes: per-process cycle breakdowns, check counts, and
+        every detection — what an administrator would ship to their
+        logging pipeline (§5.2: "reports the detection ... to the
+        administrators or users")."""
+        return {
+            "policy": {
+                "pkt_count": self.policy.pkt_count,
+                "cred_ratio": self.policy.cred_ratio,
+                "endpoints": sorted(self.policy.endpoints),
+                "check_on_pmi": self.policy.check_on_pmi,
+                "path_sensitive": self.policy.path_sensitive,
+            },
+            "processes": [
+                {
+                    "pid": pp.process.pid,
+                    "name": pp.process.name,
+                    "cr3": pp.process.cr3,
+                    "checks": pp.stats.checks,
+                    "fast_passes": pp.stats.fast_passes,
+                    "slow_path_runs": pp.stats.slow_path_runs,
+                    "pmi_count": pp.stats.pmi_count,
+                    "trace_cycles": pp.encoder.cycles,
+                    "decode_cycles": pp.stats.decode_cycles,
+                    "check_cycles": pp.stats.check_cycles,
+                    "other_cycles": pp.stats.other_cycles,
+                    "high_credit_edge_ratio":
+                        pp.stats.high_credit_edge_ratio,
+                }
+                for pp in self._protected.values()
+            ],
+            "detections": [
+                {
+                    "pid": det.pid,
+                    "syscall": int(det.syscall_nr),
+                    "path": det.path,
+                    "reason": det.reason,
+                }
+                for det in self.detections
+            ],
+        }
+
+    def overhead_for(self, process: Process) -> float:
+        """Monitoring overhead relative to the process's own cycles."""
+        stats = self.stats_for(process)
+        app_cycles = process.executor.cycles
+        return stats.total_cycles / app_cycles if app_cycles else 0.0

@@ -1,0 +1,50 @@
+"""Kernel model: processes, syscalls, signals, ptrace.
+
+FlowGuard is a kernel module: it configures IPT per-core, intercepts
+security-sensitive syscalls by temporarily rewriting the syscall table,
+and SIGKILLs processes on CFI violation.  This package provides exactly
+that interception surface:
+
+- every process has a ``CR3`` value (used by IPT filtering),
+- the syscall table is a mutable dispatch map whose entries a kernel
+  module can replace with wrappers (``Kernel.install_handler``),
+- ``fork``/``execve``/``ptrace(TRACEME)`` support the paper's
+  Linux-utility experiment, where a parent learns the child's CR3 before
+  it runs,
+- signals support the SROP attack (forged ``sigreturn`` frames).
+"""
+
+from repro.osmodel.syscalls import (
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    PTRACE_TRACEME,
+    SENSITIVE_SYSCALLS,
+    SIGKILL,
+    SIGSEGV,
+    SIGUSR1,
+    Sys,
+)
+from repro.osmodel.vfs import FileSystem
+from repro.osmodel.process import Connection, Process, ProcessState
+from repro.osmodel.kernel import Kernel, KernelPanic
+
+__all__ = [
+    "Connection",
+    "FileSystem",
+    "Kernel",
+    "KernelPanic",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_TRUNC",
+    "O_WRONLY",
+    "PTRACE_TRACEME",
+    "Process",
+    "ProcessState",
+    "SENSITIVE_SYSCALLS",
+    "SIGKILL",
+    "SIGSEGV",
+    "SIGUSR1",
+    "Sys",
+]

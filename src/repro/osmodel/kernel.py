@@ -1,0 +1,558 @@
+"""The kernel: spawning, syscall dispatch, signals, fork/execve/ptrace.
+
+The syscall table is an ordinary dict from syscall number to handler;
+:meth:`Kernel.install_handler` swaps an entry and returns the original —
+the exact mechanism FlowGuard's kernel module uses in §5.2 ("temporarily
+modifying the syscall table and installing one alternative syscall
+handler").
+
+Scheduling is deliberately simple: one process runs at a time, and a
+``wait()`` runs the child to completion synchronously (with an exec-stop
+for traced children so a monitor can read the fresh CR3 before the new
+program runs, as in the paper's Linux-utility experiment).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import costs
+from repro.binary.loader import Image, Loader
+from repro.binary.module import Module
+from repro.cpu.executor import CPUFault, Executor, HaltReason
+from repro.cpu.machine import Machine, to_signed
+from repro.cpu.memory import (
+    Memory,
+    MemoryError_,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+from repro.isa.registers import R0, R1, R2, R3, SP
+from repro.osmodel.process import (
+    Connection,
+    FDKind,
+    FileDescriptor,
+    HEAP_BASE,
+    MMAP_BASE,
+    Process,
+    ProcessState,
+    STACK_SIZE,
+    STACK_TOP,
+)
+from repro.osmodel.syscalls import (
+    O_CREAT,
+    O_TRUNC,
+    O_WRONLY,
+    PTRACE_TRACEME,
+    SIGKILL,
+    SIGSEGV,
+    Sys,
+)
+from repro.osmodel.vfs import FileSystem
+
+# errno-style results.
+EAGAIN = -11
+EBADF = -9
+EFAULT = -14
+ENOENT = -2
+EINVAL = -22
+
+SyscallHandler = Callable[["Kernel", Process], Optional[int]]
+
+# Signal frame: magic, 18 registers, ip, flags.
+_FRAME_MAGIC = 0x5347464D41524B  # "SGFMARK"
+_FRAME_WORDS = 21
+FRAME_SIZE = 8 * _FRAME_WORDS
+
+
+class KernelPanic(Exception):
+    """Internal kernel invariant violation."""
+
+
+class Kernel:
+    """The machine's single privileged agent."""
+
+    def __init__(self) -> None:
+        self.fs = FileSystem()
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 1
+        self._next_cr3 = 0x1000
+        self.programs: Dict[str, Tuple[Module, Loader]] = {}
+        self.syscall_table: Dict[int, SyscallHandler] = {
+            int(nr): getattr(self, f"_sys_{nr.name.lower()}") for nr in Sys
+        }
+        # Called with (process,) when a traced child stops at execve;
+        # this is where FlowGuard configures the CR3 filter.
+        self.exec_stop_hooks: List[Callable[[Process], None]] = []
+        # Called with (process,) whenever a process is spawned or
+        # replaced by execve.
+        self.spawn_hooks: List[Callable[[Process], None]] = []
+        self._exec_stop_pending: Dict[int, bool] = {}
+
+    # -- program registry ----------------------------------------------------
+
+    def register_program(
+        self,
+        name: str,
+        exe: Module,
+        libraries: Optional[Dict[str, Module]] = None,
+        vdso: Optional[Module] = None,
+    ) -> None:
+        """Make an executable spawnable / execve-able under ``name``."""
+        self.programs[name] = (exe, Loader(libraries, vdso=vdso))
+
+    # -- kernel-module API -----------------------------------------------------
+
+    def install_handler(
+        self, nr: int, handler: SyscallHandler
+    ) -> SyscallHandler:
+        """Replace a syscall-table entry; returns the original handler."""
+        original = self.syscall_table[int(nr)]
+        self.syscall_table[int(nr)] = handler
+        return original
+
+    def kill_process(self, proc: Process, sig: int = SIGKILL) -> None:
+        """Terminate a process with a signal (monitor enforcement path)."""
+        proc.state = ProcessState.KILLED
+        proc.killed_by = sig
+        proc.machine.halted = True
+
+    # -- spawning ----------------------------------------------------------------
+
+    def spawn(
+        self,
+        program: str,
+        argv: Optional[List[str]] = None,
+        stdin: bytes = b"",
+    ) -> Process:
+        """Create a process running a registered program."""
+        if program not in self.programs:
+            raise KernelPanic(f"unregistered program: {program}")
+        exe, loader = self.programs[program]
+        image = loader.load(exe)
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = self._make_process(pid, program, image)
+        proc.feed_stdin(stdin)
+        self.processes[pid] = proc
+        for hook in self.spawn_hooks:
+            hook(proc)
+        return proc
+
+    def _make_process(self, pid: int, name: str, image: Image) -> Process:
+        memory = image.memory
+        memory.map_region(
+            STACK_TOP - STACK_SIZE, STACK_SIZE, PROT_READ | PROT_WRITE
+        )
+        machine = Machine(memory)
+        machine.ip = image.entry_address
+        machine.set_reg(SP, STACK_TOP - 64)
+        executor = Executor(machine)
+        cr3 = self._next_cr3
+        self._next_cr3 += 0x1000
+        proc = Process(
+            pid=pid,
+            name=name,
+            image=image,
+            machine=machine,
+            executor=executor,
+            cr3=cr3,
+        )
+        executor.syscall_handler = self._make_dispatch(proc)
+        return proc
+
+    def _make_dispatch(self, proc: Process) -> Callable[[Machine], None]:
+        def dispatch(machine: Machine) -> None:
+            self._dispatch_syscall(proc)
+
+        return dispatch
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self, proc: Process, max_steps: int = 50_000_000) -> ProcessState:
+        """Run a process until it exits, is killed, or exhausts steps.
+
+        Hardware faults become a SIGSEGV termination, like a real kernel
+        delivering an unhandleable fault — attack payloads that crash
+        mid-chain are reported, not propagated as Python errors.
+        """
+        while proc.alive:
+            try:
+                reason = proc.executor.run(max_steps)
+            except CPUFault as fault:
+                proc.fault = str(fault)
+                self.kill_process(proc, SIGSEGV)
+                break
+            if reason is HaltReason.STEPS_EXHAUSTED:
+                break
+            if proc.machine.halted and proc.state is ProcessState.RUNNABLE:
+                # halt instruction without exit(): treat as clean exit.
+                proc.state = ProcessState.EXITED
+            break
+        return proc.state
+
+    # -- syscall dispatch ------------------------------------------------------------
+
+    def _dispatch_syscall(self, proc: Process) -> None:
+        nr = proc.machine.reg(R0)
+        handler = self.syscall_table.get(nr)
+        if handler is None:
+            proc.machine.set_reg(R0, EINVAL)
+            return
+        result = handler(self, proc)
+        if result is not None:
+            proc.machine.set_reg(R0, result)
+
+    # -- memory helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _copy_in(proc: Process, addr: int, size: int) -> Optional[bytes]:
+        try:
+            return proc.machine.memory.read(addr, size)
+        except MemoryError_:
+            return None
+
+    @staticmethod
+    def _copy_out(proc: Process, addr: int, data: bytes) -> bool:
+        try:
+            proc.machine.memory.write(addr, data)
+            return True
+        except MemoryError_:
+            return False
+
+    @staticmethod
+    def _read_path(proc: Process, addr: int) -> Optional[str]:
+        try:
+            raw = proc.machine.memory.read_cstring(addr)
+        except MemoryError_:
+            return None
+        return raw.decode("utf-8", errors="replace")
+
+    # -- syscall handlers -------------------------------------------------------------
+
+    def _sys_exit(self, kernel: "Kernel", proc: Process) -> Optional[int]:
+        proc.exit_code = to_signed(proc.machine.reg(R1))
+        proc.state = ProcessState.EXITED
+        proc.machine.halted = True
+        return None
+
+    def _sys_read(self, kernel: "Kernel", proc: Process) -> int:
+        fd_num = proc.machine.reg(R1)
+        buf = proc.machine.reg(R2)
+        size = proc.machine.reg(R3)
+        fd = proc.fds.get(fd_num)
+        if fd is None:
+            return EBADF
+        if fd.kind is FDKind.STDIN:
+            data = bytes(proc.stdin_buffer[:size])
+            del proc.stdin_buffer[: len(data)]
+        elif fd.kind is FDKind.FILE:
+            if not self.fs.exists(fd.path):
+                return ENOENT
+            data = self.fs.read_at(fd.path, fd.pos, size)
+            fd.pos += len(data)
+        elif fd.kind is FDKind.CONN:
+            data = bytes(fd.conn.inbound[:size])
+            del fd.conn.inbound[: len(data)]
+        else:
+            return EBADF
+        if data and not self._copy_out(proc, buf, data):
+            return EFAULT
+        proc.executor.cycles += len(data) * costs.KERNEL_IO_CYCLES_PER_BYTE
+        return len(data)
+
+    def _sys_write(self, kernel: "Kernel", proc: Process) -> int:
+        fd_num = proc.machine.reg(R1)
+        buf = proc.machine.reg(R2)
+        size = proc.machine.reg(R3)
+        fd = proc.fds.get(fd_num)
+        if fd is None:
+            return EBADF
+        data = self._copy_in(proc, buf, size)
+        if data is None:
+            return EFAULT
+        proc.executor.cycles += len(data) * costs.KERNEL_IO_CYCLES_PER_BYTE
+        if fd.kind is FDKind.STDOUT:
+            proc.stdout.extend(data)
+            return len(data)
+        if fd.kind is FDKind.FILE:
+            if not fd.writable:
+                return EBADF
+            written = self.fs.write_at(fd.path, fd.pos, data)
+            fd.pos += written
+            return written
+        if fd.kind is FDKind.CONN:
+            fd.conn.outbound.extend(data)
+            return len(data)
+        return EBADF
+
+    def _sys_open(self, kernel: "Kernel", proc: Process) -> int:
+        path = self._read_path(proc, proc.machine.reg(R1))
+        if path is None:
+            return EFAULT
+        flags = proc.machine.reg(R2)
+        if not self.fs.exists(path):
+            if not flags & O_CREAT:
+                return ENOENT
+            self.fs.create(path)
+        elif flags & O_TRUNC:
+            self.fs.truncate(path)
+        fd = FileDescriptor(
+            FDKind.FILE, path=path, writable=bool(flags & O_WRONLY)
+        )
+        return proc.allocate_fd(fd)
+
+    def _sys_close(self, kernel: "Kernel", proc: Process) -> int:
+        fd = proc.fds.pop(proc.machine.reg(R1), None)
+        if fd is None:
+            return EBADF
+        if fd.kind is FDKind.CONN:
+            fd.conn.closed = True
+        return 0
+
+    def _sys_mmap(self, kernel: "Kernel", proc: Process) -> int:
+        size = proc.machine.reg(R2)
+        prot = proc.machine.reg(R3) or (PROT_READ | PROT_WRITE)
+        if size == 0:
+            return EINVAL
+        addr = proc.mmap_next
+        aligned = (size + 4095) // 4096 * 4096
+        proc.mmap_next += aligned + 4096  # guard gap
+        proc.machine.memory.map_region(addr, aligned, prot)
+        return addr
+
+    def _sys_mprotect(self, kernel: "Kernel", proc: Process) -> int:
+        addr = proc.machine.reg(R1)
+        size = proc.machine.reg(R2)
+        prot = proc.machine.reg(R3)
+        try:
+            proc.machine.memory.protect(addr, size, prot)
+        except MemoryError_:
+            return EINVAL
+        if prot & PROT_EXEC:
+            proc.executor.flush_icache()
+        return 0
+
+    def _sys_execve(self, kernel: "Kernel", proc: Process) -> int:
+        path = self._read_path(proc, proc.machine.reg(R1))
+        if path is None:
+            return EFAULT
+        if path not in self.programs:
+            return ENOENT
+        exe, loader = self.programs[path]
+        image = loader.load(exe)
+        memory = image.memory
+        memory.map_region(
+            STACK_TOP - STACK_SIZE, STACK_SIZE, PROT_READ | PROT_WRITE
+        )
+        proc.image = image
+        proc.machine.memory = memory
+        proc.machine.regs = [0] * len(proc.machine.regs)
+        proc.machine.set_reg(SP, STACK_TOP - 64)
+        proc.machine.ip = image.entry_address
+        proc.executor.flush_icache()
+        proc.name = path
+        # A fresh mm means a fresh CR3 — the detail the paper's ptrace
+        # trick exists to observe.
+        proc.cr3 = self._next_cr3
+        self._next_cr3 += 0x1000
+        if proc.traced:
+            self._exec_stop_pending[proc.pid] = True
+        for hook in self.spawn_hooks:
+            hook(proc)
+        return 0
+
+    def _sys_fork(self, kernel: "Kernel", proc: Process) -> int:
+        child_pid = self._next_pid
+        self._next_pid += 1
+        child = self._clone_process(proc, child_pid)
+        self.processes[child_pid] = child
+        proc.children.append(child_pid)
+        for hook in self.spawn_hooks:
+            hook(child)
+        return child_pid
+
+    def _clone_process(self, parent: Process, child_pid: int) -> Process:
+        memory = parent.machine.memory.clone()
+        machine = Machine(memory)
+        machine.regs = list(parent.machine.regs)
+        machine.ip = parent.machine.ip  # already past the syscall insn
+        machine.zf, machine.sf = parent.machine.zf, parent.machine.sf
+        machine.set_reg(R0, 0)  # fork returns 0 in the child
+        image = Image(memory=memory, modules=list(parent.image.modules),
+                      vdso=parent.image.vdso)
+        executor = Executor(machine)
+        cr3 = self._next_cr3
+        self._next_cr3 += 0x1000
+        child = Process(
+            pid=child_pid,
+            name=parent.name,
+            image=image,
+            machine=machine,
+            executor=executor,
+            cr3=cr3,
+            parent_pid=parent.pid,
+        )
+        child.stdin_buffer = bytearray(parent.stdin_buffer)
+        executor.syscall_handler = self._make_dispatch(child)
+        return child
+
+    def _sys_wait(self, kernel: "Kernel", proc: Process) -> int:
+        """Run the oldest unfinished child to completion, return status.
+
+        Traced children stop at their next execve so exec-stop hooks (the
+        monitor) can observe the post-exec CR3, then continue.
+        """
+        for child_pid in proc.children:
+            child = self.processes.get(child_pid)
+            if child is None or not child.alive:
+                continue
+            stopped_at_exec = self._run_until_exec_stop(child)
+            if stopped_at_exec:
+                for hook in self.exec_stop_hooks:
+                    hook(child)
+                self.run(child)
+            return child.exit_code if child.killed_by is None else -child.killed_by
+        return ENOENT  # no waitable children
+
+    def _run_until_exec_stop(self, child: Process, max_steps: int = 5_000_000
+                             ) -> bool:
+        """Step a child; True if it stopped at a traced execve."""
+        while child.alive:
+            if self._exec_stop_pending.pop(child.pid, False):
+                return True
+            try:
+                child.executor.step()
+            except CPUFault as fault:
+                child.fault = str(fault)
+                self.kill_process(child, SIGSEGV)
+                return False
+            max_steps -= 1
+            if max_steps <= 0:
+                return False
+            if child.machine.halted:
+                if child.state is ProcessState.RUNNABLE:
+                    child.state = ProcessState.EXITED
+                return False
+        return False
+
+    def _sys_gettimeofday(self, kernel: "Kernel", proc: Process) -> int:
+        return int(proc.executor.cycles)
+
+    def _sys_sigaction(self, kernel: "Kernel", proc: Process) -> int:
+        sig = proc.machine.reg(R1)
+        handler = proc.machine.reg(R2)
+        proc.signal_handlers[sig] = handler
+        return 0
+
+    def _sys_sigreturn(self, kernel: "Kernel", proc: Process) -> Optional[int]:
+        """Restore register state from the frame at SP.
+
+        Like real kernels, the frame contents are *not* authenticated —
+        this is precisely the weakness SROP (Bosman & Bos, S&P'14)
+        exploits and that FlowGuard detects at the sigreturn endpoint.
+        """
+        frame_addr = proc.machine.reg(SP)
+        raw = self._copy_in(proc, frame_addr, FRAME_SIZE)
+        if raw is None:
+            return EFAULT
+        words = struct.unpack(f"<{_FRAME_WORDS}Q", raw)
+        regs = list(words[1:19])
+        ip = words[19]
+        flags = words[20]
+        proc.machine.regs = [r & 0xFFFFFFFFFFFFFFFF for r in regs]
+        proc.machine.ip = ip
+        proc.machine.zf = bool(flags & 1)
+        proc.machine.sf = bool(flags & 2)
+        return None  # r0 comes from the restored frame
+
+    def deliver_signal(self, proc: Process, sig: int) -> None:
+        """Deliver a signal: run the handler or terminate."""
+        handler = proc.signal_handlers.get(sig)
+        if sig == SIGKILL or handler is None:
+            self.kill_process(proc, sig)
+            return
+        m = proc.machine
+        frame = struct.pack(
+            f"<{_FRAME_WORDS}Q",
+            _FRAME_MAGIC,
+            *[r & 0xFFFFFFFFFFFFFFFF for r in m.regs],
+            m.ip,
+            (1 if m.zf else 0) | (2 if m.sf else 0),
+        )
+        sp_new = m.reg(SP) - FRAME_SIZE
+        if not self._copy_out(proc, sp_new, frame):
+            self.kill_process(proc, SIGSEGV)
+            return
+        m.set_reg(SP, sp_new)
+        m.set_reg(R1, sig)
+        m.set_reg(R2, sp_new)
+        m.ip = handler
+
+    def _sys_kill(self, kernel: "Kernel", proc: Process) -> int:
+        target_pid = proc.machine.reg(R1)
+        sig = proc.machine.reg(R2)
+        target = self.processes.get(target_pid, proc if target_pid == 0 else None)
+        if target is None:
+            return ENOENT
+        self.deliver_signal(target, sig)
+        return 0
+
+    # -- sockets -----------------------------------------------------------------------
+
+    def _sys_socket(self, kernel: "Kernel", proc: Process) -> int:
+        return proc.allocate_fd(FileDescriptor(FDKind.LISTEN))
+
+    def _sys_bind(self, kernel: "Kernel", proc: Process) -> int:
+        return 0
+
+    def _sys_listen(self, kernel: "Kernel", proc: Process) -> int:
+        return 0
+
+    def _sys_accept(self, kernel: "Kernel", proc: Process) -> int:
+        listen_fd = proc.fds.get(proc.machine.reg(R1))
+        if listen_fd is None or listen_fd.kind is not FDKind.LISTEN:
+            return EBADF
+        if not proc.pending_connections:
+            return EAGAIN
+        conn = proc.pending_connections.pop(0)
+        proc.accepted_connections.append(conn)
+        return proc.allocate_fd(FileDescriptor(FDKind.CONN, conn=conn))
+
+    def _sys_recv(self, kernel: "Kernel", proc: Process) -> int:
+        return self._sys_read(kernel, proc)
+
+    def _sys_send(self, kernel: "Kernel", proc: Process) -> int:
+        return self._sys_write(kernel, proc)
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def _sys_ptrace(self, kernel: "Kernel", proc: Process) -> int:
+        if proc.machine.reg(R1) == PTRACE_TRACEME:
+            proc.traced = True
+            return 0
+        return EINVAL
+
+    def _sys_getpid(self, kernel: "Kernel", proc: Process) -> int:
+        return proc.pid
+
+    def _sys_brk(self, kernel: "Kernel", proc: Process) -> int:
+        request = proc.machine.reg(R1)
+        if request == 0:
+            return proc.heap_brk
+        if request < HEAP_BASE or request >= MMAP_BASE:
+            return EINVAL
+        if request > proc.heap_brk:
+            proc.machine.memory.map_region(
+                proc.heap_brk, request - proc.heap_brk, PROT_READ | PROT_WRITE
+            )
+        proc.heap_brk = request
+        return proc.heap_brk
+
+    def _sys_unlink(self, kernel: "Kernel", proc: Process) -> int:
+        path = self._read_path(proc, proc.machine.reg(R1))
+        if path is None:
+            return EFAULT
+        return 0 if self.fs.unlink(path) else ENOENT

@@ -1,0 +1,70 @@
+"""Syscall numbers, flags, signals, and the sensitive-endpoint set."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Sys(enum.IntEnum):
+    """Syscall numbers.
+
+    The calling convention mirrors Linux: number in ``r0``, arguments in
+    ``r1``–``r5``, result back in ``r0`` (negative on error).
+    """
+
+    EXIT = 0
+    READ = 1
+    WRITE = 2
+    OPEN = 3
+    CLOSE = 4
+    MMAP = 5
+    MPROTECT = 6
+    EXECVE = 7
+    FORK = 8
+    WAIT = 9
+    GETTIMEOFDAY = 10
+    SIGACTION = 11
+    SIGRETURN = 12
+    SOCKET = 13
+    BIND = 14
+    LISTEN = 15
+    ACCEPT = 16
+    RECV = 17
+    SEND = 18
+    PTRACE = 19
+    GETPID = 20
+    BRK = 21
+    UNLINK = 22
+    KILL = 23
+
+
+#: The security-sensitive endpoints FlowGuard intercepts by default —
+#: the same policy as PathArmor (§5.2): the syscalls that let an attacker
+#: spawn processes, change memory permissions, exfiltrate/overwrite data,
+#: or pivot via forged signal frames.
+SENSITIVE_SYSCALLS = frozenset(
+    {
+        Sys.EXECVE,
+        Sys.MMAP,
+        Sys.MPROTECT,
+        Sys.WRITE,
+        Sys.SEND,
+        Sys.SIGRETURN,
+        Sys.UNLINK,
+        Sys.KILL,
+    }
+)
+
+# open(2) flags.
+O_RDONLY = 0
+O_WRONLY = 1
+O_CREAT = 0x40
+O_TRUNC = 0x200
+
+# Signals.
+SIGKILL = 9
+SIGSEGV = 11
+SIGUSR1 = 10
+
+# ptrace requests.
+PTRACE_TRACEME = 0

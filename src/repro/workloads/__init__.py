@@ -1,0 +1,62 @@
+"""Workload programs: the applications the paper evaluates.
+
+Everything is compiled from the mini-language against ``libsim.so`` (the
+libc analogue) and an optional VDSO, reproducing the branch/syscall
+personalities of the originals:
+
+- servers: nginx / vsftpd / openssh / exim analogues (§7.2.1),
+- Linux utilities: tar / dd / make / scp analogues run through the
+  fork + ptrace(TRACEME) + execve harness,
+- a 12-program SPECCPU-2006-like suite, including the h264ref outlier
+  (an indirect-call-heavy core loop).
+"""
+
+from repro.workloads.libsim import build_libsim
+from repro.workloads.vdso import build_vdso
+from repro.workloads.servers import (
+    SERVER_BUILDERS,
+    build_exim,
+    build_nginx,
+    build_openssh,
+    build_vsftpd,
+    exim_session,
+    nginx_request,
+    openssh_session,
+    vsftpd_session,
+)
+from repro.workloads.utilities import (
+    UTILITY_BUILDERS,
+    build_dd,
+    build_launcher,
+    build_make,
+    build_scp,
+    build_tar,
+)
+from repro.workloads.spec import SPEC_BUILDERS, build_spec_program
+from repro.workloads.programgen import ProgramGenerator, generate_program
+from repro.workloads.utilities import seed_utility_inputs
+
+__all__ = [
+    "ProgramGenerator",
+    "SERVER_BUILDERS",
+    "SPEC_BUILDERS",
+    "UTILITY_BUILDERS",
+    "build_dd",
+    "build_exim",
+    "build_launcher",
+    "build_libsim",
+    "build_make",
+    "build_nginx",
+    "build_openssh",
+    "build_scp",
+    "build_spec_program",
+    "build_tar",
+    "build_vdso",
+    "build_vsftpd",
+    "exim_session",
+    "generate_program",
+    "seed_utility_inputs",
+    "nginx_request",
+    "openssh_session",
+    "vsftpd_session",
+]

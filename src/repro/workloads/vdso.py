@@ -1,0 +1,39 @@
+"""The VDSO module: fast-path syscall acceleration (§4.1).
+
+Real VDSOs avoid the kernel entirely; here ``gettimeofday`` still traps
+(the kernel model is the only clock), but the module boundary — calls
+resolving into a VDSO segment that takes precedence over libraries — is
+what the CFG construction needs to handle, and does.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.binary.builder import ModuleBuilder
+from repro.binary.module import Module
+from repro.isa.assembler import A
+from repro.isa.registers import R0
+from repro.osmodel.syscalls import Sys
+
+
+@lru_cache(maxsize=None)
+def build_vdso() -> Module:
+    vdso = ModuleBuilder("vdso")
+    vdso.add_function(
+        "gettimeofday",
+        [
+            A.mov(R0, int(Sys.GETTIMEOFDAY)),
+            A.syscall(),
+            A.ret(),
+        ],
+    )
+    vdso.add_function(
+        "time",
+        [
+            A.mov(R0, int(Sys.GETTIMEOFDAY)),
+            A.syscall(),
+            A.ret(),
+        ],
+    )
+    return vdso.build()

@@ -1,0 +1,141 @@
+"""Tests for the textual assembly parser."""
+
+import pytest
+
+from repro.cpu import Executor, Machine, Memory
+from repro.cpu import PROT_EXEC, PROT_READ, PROT_WRITE
+from repro.isa import Op, asm, decode_at
+from repro.isa.parser import AsmSyntaxError, parse_asm
+from repro.isa.registers import FP, R0, R1, SP
+
+
+def run_text(text, max_steps=10_000):
+    items = parse_asm(text)
+    code, symbols = asm(items, base=0x1000)
+    mem = Memory()
+    mem.map_region(0x1000, max(len(code), 1), PROT_READ | PROT_EXEC)
+    mem.write_raw(0x1000, code)
+    mem.map_region(0x8000, 0x1000, PROT_READ | PROT_WRITE)
+    machine = Machine(mem)
+    machine.ip = 0x1000
+    machine.set_reg(SP, 0x8FF8)
+    cpu = Executor(machine)
+    cpu.run(max_steps)
+    return cpu
+
+
+class TestParsing:
+    def test_roundtrip_loop(self):
+        cpu = run_text(
+            """
+            ; sum 1..5
+                mov r1, 5
+                mov r0, 0
+            loop:
+                add r0, r1
+                subi r1, 1
+                cmpi r1, 0
+                jcc gt, loop
+                halt
+            """
+        )
+        assert cpu.machine.reg(R0) == 15
+
+    def test_jcc_shorthand(self):
+        cpu = run_text(
+            """
+                mov r0, 1
+                cmpi r0, 1
+                jeq good
+                mov r0, 0
+            good:
+                halt
+            """
+        )
+        assert cpu.machine.reg(R0) == 1
+
+    def test_memory_operands(self):
+        cpu = run_text(
+            """
+                mov r1, 0x8100
+                mov r0, 77
+                store [r1+8], r0
+                load r0, [r1 + 8]
+                storeb [r1-1], r0
+                loadb r1, [r1-1]
+                halt
+            """
+        )
+        assert cpu.machine.reg(R0) == 77
+        assert cpu.machine.reg(R1) == 77
+
+    def test_call_and_register_forms(self):
+        cpu = run_text(
+            """
+                call fn
+                lea r2, fn2
+                call r2
+                halt
+            fn:
+                mov r0, 5
+                ret
+            fn2:
+                addi r0, 7
+                ret
+            """
+        )
+        assert cpu.machine.reg(R0) == 12
+
+    def test_hex_and_negative_immediates(self):
+        cpu = run_text("mov r0, 0x10\n addi r0, -6\n halt")
+        assert cpu.machine.reg(R0) == 10
+
+    def test_sp_fp_names(self):
+        items = parse_asm("push fp\nmov fp, sp\npop fp\nhalt")
+        assert items[0].rs == FP
+        assert items[1].rd == FP and items[1].rs == SP
+
+    def test_comments_and_blank_lines(self):
+        items = parse_asm(
+            "# hash comment\n\n ; semicolon\n nop ; trailing\n"
+        )
+        assert len(items) == 1
+        assert items[0].op is Op.NOP
+
+    def test_multiple_labels_one_line(self):
+        items = parse_asm("a: b: halt")
+        from repro.isa import Label
+
+        assert items[0] == Label("a")
+        assert items[1] == Label("b")
+
+    def test_equivalence_with_programmatic(self):
+        from repro.isa import A, Cond, Label
+
+        text_items = parse_asm("x:\n jcc lt, x\n jmp x\n")
+        prog_items = [Label("x"), A.jcc(Cond.LT, "x"), A.jmp("x")]
+        assert asm(text_items)[0] == asm(prog_items)[0]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r0",
+            "mov r99, 1",
+            "mov r0",
+            "load r0, r1",
+            "jcc sideways, x",
+            "store [qq+4], r0",
+            "addi r0, twelve",
+            "1bad: nop",
+        ],
+    )
+    def test_rejections(self, bad):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmSyntaxError) as exc:
+            parse_asm("nop\nnop\nbogus r0\n")
+        assert exc.value.line_no == 3

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "nuke"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "nginx"])
+        assert args.sessions == 8
+        assert not args.unprotected
+
+
+class TestCommands:
+    def test_serve(self, capsys):
+        assert main(["serve", "exim", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor:" in out
+        assert "overhead" in out
+
+    def test_serve_unprotected(self, capsys):
+        assert main(["serve", "exim", "-n", "2", "--unprotected"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor:" not in out
+
+    def test_attack_rop(self, capsys):
+        assert main(["attack", "rop"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLOITED" in out
+        assert "DETECTED at write" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "dd"]) == 0
+        out = capsys.readouterr().out
+        assert "push fp" in out
+
+    def test_disasm_unknown_workload(self, capsys):
+        assert main(["disasm", "doom"]) == 2
+
+    def test_disasm_unknown_function(self, capsys):
+        assert main(["disasm", "dd", "-f", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "available" in err
+
+    def test_fuzz_small_budget(self, capsys):
+        assert main(["fuzz", "exim", "--budget", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "path-finding inputs" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        assert main(["experiments", "tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out

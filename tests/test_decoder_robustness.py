@@ -1,0 +1,106 @@
+"""Robustness of the decoders against hostile or corrupted input.
+
+The fast decoder processes attacker-influenced bytes (the trace of a
+hijacked process) and kernel-buffer tails cut at arbitrary points; it
+must terminate with either a result or a PacketError — never hang,
+never crash with an unrelated exception.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ipt import (
+    IPTConfig,
+    IPTEncoder,
+    PacketError,
+    ToPA,
+    ToPARegion,
+    fast_decode,
+    fast_decode_parallel,
+)
+from repro.ipt.msr import RTIT_CTL
+from repro.cpu.events import BranchEvent, CoFIKind
+
+
+def _sample_trace() -> bytes:
+    config = IPTConfig()
+    config.write_ctl(RTIT_CTL.TRACE_EN | RTIT_CTL.BRANCH_EN | RTIT_CTL.USER)
+    encoder = IPTEncoder(config, output=ToPA([ToPARegion(1 << 14)]))
+    for i in range(60):
+        encoder.on_branch(
+            BranchEvent(CoFIKind.COND_BRANCH, 0x400000 + 8 * i,
+                        0x400010 + 8 * i, taken=(i % 3 != 0))
+        )
+        if i % 4 == 0:
+            encoder.on_branch(
+                BranchEvent(CoFIKind.RET, 0x400100 + i, 0x400200 + i)
+            )
+    encoder.flush()
+    return encoder.output.snapshot()
+
+
+class TestFastDecodeRobustness:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_random_bytes_never_hang_or_crash(self, data):
+        try:
+            result = fast_decode(data)
+        except PacketError:
+            return
+        assert result.packets is not None
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_sync_mode_tolerates_garbage_prefix(self, garbage):
+        data = garbage + _sample_trace()
+        # Syncing to the first PSB must recover the real packets even
+        # when the prefix is arbitrary junk.
+        result = fast_decode(data, sync=True)
+        reference = fast_decode(_sample_trace())
+        got = [(p.kind, p.ip, p.bits) for p in result.packets]
+        want = [(p.kind, p.ip, p.bits) for p in reference.packets]
+        # The garbage may itself contain a fake PSB pattern; in that
+        # rare case decoding starts earlier but must still terminate.
+        if result.synced_offset == len(garbage):
+            assert got == want
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_truncation_tolerated(self, cut):
+        data = _sample_trace()
+        cut = min(cut, len(data))
+        result = fast_decode(data[:cut])
+        # Whole-packet prefix decodes; mid-packet cut flags truncation.
+        assert result.truncated or result.packets is not None
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_parallel_agrees_with_serial_on_valid_streams(self, junk):
+        data = _sample_trace()
+        serial = fast_decode(data)
+        parallel = fast_decode_parallel(data)
+        assert [(p.kind, p.ip, p.bits) for p in serial.packets] == [
+            (p.kind, p.ip, p.bits) for p in parallel.packets
+        ]
+
+
+class TestFullDecodeRobustness:
+    def test_packets_for_wrong_binary_reported(self):
+        """Full decode of a trace against mismatched memory must raise
+        TraceMismatch, not produce silently wrong flow."""
+        from repro.cpu.memory import Memory, PROT_EXEC, PROT_READ
+        from repro.ipt import FullDecoder, TraceMismatch
+
+        data = _sample_trace()
+        packets = fast_decode(data).packets
+        memory = Memory()
+        memory.map_region(0x400000, 0x2000, PROT_READ | PROT_EXEC)
+        # All zeroes decodes as NOP sled: the decoder walks NOPs and
+        # then hits a packet it cannot reconcile or runs off the map.
+        with pytest.raises(TraceMismatch):
+            decoder = FullDecoder(memory, max_insns=100_000)
+            result = decoder.decode(packets)
+            # A NOP sled consumes no packets; walking off the mapped
+            # region must raise before the instruction budget is spent.
+            if result.insn_count >= 100_000:  # pragma: no cover
+                raise TraceMismatch("budget exhausted on a NOP sled")

@@ -1,0 +1,411 @@
+"""Tests for the kernel model: syscalls, fork/exec, signals, interception."""
+
+import pytest
+
+from repro.lang import (
+    AddrOf,
+    Asm,
+    Assign,
+    Call,
+    Const,
+    Func,
+    Global,
+    If,
+    Let,
+    LocalArray,
+    Load,
+    Program,
+    Rel,
+    Return,
+    Store,
+    SyscallExpr,
+    Var,
+    While,
+)
+from repro.osmodel import (
+    Kernel,
+    O_CREAT,
+    O_WRONLY,
+    PTRACE_TRACEME,
+    ProcessState,
+    SIGKILL,
+    SIGUSR1,
+    Sys,
+)
+
+
+def sys_(nr, *args):
+    return SyscallExpr(int(nr), list(args))
+
+
+def build_kernel(main_body, name="prog", extra_funcs=(), data=None):
+    prog = Program(name)
+    for key, value in (data or {}).items():
+        if isinstance(value, str):
+            prog.add_string(key, value)
+        else:
+            prog.add_data(key, value)
+    for func in extra_funcs:
+        prog.add_func(func)
+    prog.add_func(Func("main", [], main_body))
+    prog.set_entry("main")
+    kernel = Kernel()
+    kernel.register_program(name, prog.build())
+    return kernel
+
+
+class TestBasics:
+    def test_exit_code(self):
+        kernel = build_kernel([Return(Const(17))])
+        proc = kernel.spawn("prog")
+        assert kernel.run(proc) is ProcessState.EXITED
+        assert proc.exit_code == 17
+
+    def test_write_stdout(self):
+        body = [
+            Let("n", sys_(Sys.WRITE, Const(1), Global("msg"), Const(5))),
+            Return(Var("n")),
+        ]
+        kernel = build_kernel(body, data={"msg": "hello"})
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.stdout == bytearray(b"hello")
+        assert proc.exit_code == 5
+
+    def test_read_stdin(self):
+        body = [
+            LocalArray("buf", 16),
+            Let("n", sys_(Sys.READ, Const(0), AddrOf("buf"), Const(16))),
+            ExprLike := sys_(Sys.WRITE, Const(1), AddrOf("buf"), Var("n")),
+            Return(Var("n")),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog", stdin=b"abc")
+        kernel.run(proc)
+        assert proc.exit_code == 3
+        assert proc.stdout == bytearray(b"abc")
+
+    def test_getpid(self):
+        kernel = build_kernel([Return(sys_(Sys.GETPID))])
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == proc.pid
+
+    def test_unknown_syscall_einval(self):
+        kernel = build_kernel([Return(SyscallExpr(999, []))])
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == -22
+
+    def test_unregistered_program(self):
+        kernel = Kernel()
+        with pytest.raises(Exception):
+            kernel.spawn("ghost")
+
+
+class TestFiles:
+    def test_open_write_read_roundtrip(self):
+        body = [
+            Let("fd", sys_(Sys.OPEN, Global("path"),
+                           Const(O_CREAT | O_WRONLY))),
+            sys_(Sys.WRITE, Var("fd"), Global("content"), Const(4)),
+            sys_(Sys.CLOSE, Var("fd")),
+            Return(Const(0)),
+        ]
+        kernel = build_kernel(
+            body, data={"path": "/tmp/out", "content": "data"}
+        )
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert kernel.fs.contents("/tmp/out") == b"data"
+
+    def test_open_missing_enoent(self):
+        body = [Return(sys_(Sys.OPEN, Global("path"), Const(0)))]
+        kernel = build_kernel(body, data={"path": "/no/file"})
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == -2
+
+    def test_read_existing_file(self):
+        body = [
+            LocalArray("buf", 8),
+            Let("fd", sys_(Sys.OPEN, Global("path"), Const(0))),
+            Let("n", sys_(Sys.READ, Var("fd"), AddrOf("buf"), Const(8))),
+            Return(Load(AddrOf("buf"), byte=True)),
+        ]
+        kernel = build_kernel(body, data={"path": "/etc/x"})
+        kernel.fs.create("/etc/x", b"Zfile")
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == ord("Z")
+
+    def test_unlink(self):
+        body = [Return(sys_(Sys.UNLINK, Global("path")))]
+        kernel = build_kernel(body, data={"path": "/gone"})
+        kernel.fs.create("/gone", b"x")
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == 0
+        assert not kernel.fs.exists("/gone")
+
+    def test_bad_fd(self):
+        kernel = build_kernel(
+            [Return(sys_(Sys.WRITE, Const(99), Const(0), Const(0)))]
+        )
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == -9
+
+
+class TestSockets:
+    def test_accept_recv_send(self):
+        body = [
+            LocalArray("buf", 32),
+            Let("lfd", sys_(Sys.SOCKET)),
+            sys_(Sys.BIND, Var("lfd")),
+            sys_(Sys.LISTEN, Var("lfd")),
+            Let("cfd", sys_(Sys.ACCEPT, Var("lfd"))),
+            If(Rel("<", Var("cfd"), Const(0)), [Return(Const(1))]),
+            Let("n", sys_(Sys.RECV, Var("cfd"), AddrOf("buf"), Const(32))),
+            sys_(Sys.SEND, Var("cfd"), AddrOf("buf"), Var("n")),
+            sys_(Sys.CLOSE, Var("cfd")),
+            Return(Const(0)),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        conn = proc.push_connection(b"ping")
+        kernel.run(proc)
+        assert proc.exit_code == 0
+        assert bytes(conn.outbound) == b"ping"
+        assert conn.closed
+
+    def test_accept_empty_queue_eagain(self):
+        body = [
+            Let("lfd", sys_(Sys.SOCKET)),
+            Return(sys_(Sys.ACCEPT, Var("lfd"))),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == -11
+
+
+class TestMemorySyscalls:
+    def test_mmap_and_use(self):
+        body = [
+            Let("p", sys_(Sys.MMAP, Const(0), Const(8192), Const(3))),
+            Store(Var("p"), Const(123)),
+            Return(Load(Var("p"))),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == 123
+
+    def test_brk_grows_heap(self):
+        from repro.osmodel.process import HEAP_BASE
+
+        body = [
+            Let("brk", sys_(Sys.BRK, Const(0))),
+            sys_(Sys.BRK, Const(HEAP_BASE + 8192)),
+            Store(Const(HEAP_BASE), Const(55)),
+            Return(Load(Const(HEAP_BASE))),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == 55
+
+    def test_mprotect(self):
+        body = [
+            Let("p", sys_(Sys.MMAP, Const(0), Const(4096), Const(3))),
+            Return(sys_(Sys.MPROTECT, Var("p"), Const(4096), Const(1))),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == 0
+
+
+class TestForkExec:
+    def test_fork_wait(self):
+        # child returns 7, parent returns child status + 1
+        body = [
+            Let("pid", sys_(Sys.FORK)),
+            If(
+                Rel("==", Var("pid"), Const(0)),
+                [Return(Const(7))],
+            ),
+            Let("status", sys_(Sys.WAIT)),
+            Return(Var("status")),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == 7
+        assert len(kernel.processes) == 2
+
+    def test_execve_replaces_image(self):
+        target = Program("other")
+        target.add_func(Func("main", [], [Return(Const(99))]))
+        target.set_entry("main")
+
+        body = [
+            Let("pid", sys_(Sys.FORK)),
+            If(
+                Rel("==", Var("pid"), Const(0)),
+                [sys_(Sys.EXECVE, Global("path")), Return(Const(1))],
+            ),
+            Return(sys_(Sys.WAIT)),
+        ]
+        kernel = build_kernel(body, data={"path": "other"})
+        kernel.register_program("other", target.build())
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == 99
+
+    def test_execve_changes_cr3_and_exec_stop_hook(self):
+        target = Program("util")
+        target.add_func(Func("main", [], [Return(Const(3))]))
+        target.set_entry("main")
+
+        body = [
+            Let("pid", sys_(Sys.FORK)),
+            If(
+                Rel("==", Var("pid"), Const(0)),
+                [
+                    sys_(Sys.PTRACE, Const(PTRACE_TRACEME)),
+                    sys_(Sys.EXECVE, Global("path")),
+                    Return(Const(1)),
+                ],
+            ),
+            Return(sys_(Sys.WAIT)),
+        ]
+        kernel = build_kernel(body, data={"path": "util"})
+        kernel.register_program("util", target.build())
+        observed = []
+        kernel.exec_stop_hooks.append(
+            lambda child: observed.append((child.name, child.cr3))
+        )
+        proc = kernel.spawn("prog")
+        parent_cr3 = proc.cr3
+        kernel.run(proc)
+        assert proc.exit_code == 3
+        assert len(observed) == 1
+        name, cr3 = observed[0]
+        assert name == "util"
+        assert cr3 != parent_cr3  # execve allocated a fresh CR3
+
+    def test_wait_without_children(self):
+        kernel = build_kernel([Return(sys_(Sys.WAIT))])
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == -2
+
+
+class TestSignals:
+    def test_sigkill_terminates(self):
+        kernel = build_kernel([Return(Const(0))])
+        proc = kernel.spawn("prog")
+        kernel.kill_process(proc, SIGKILL)
+        assert proc.state is ProcessState.KILLED
+        assert proc.killed_by == SIGKILL
+
+    def test_signal_handler_and_sigreturn(self):
+        """Deliver SIGUSR1 to self; handler runs, sigreturn resumes."""
+        from repro.lang import FuncRef
+
+        handler = Func(
+            "on_sig",
+            ["sig", "frame"],
+            [
+                # Mark that we ran, then sigreturn with SP at the frame.
+                sys_(Sys.WRITE, Const(1), Global("mark"), Const(1)),
+                Asm([]),
+                # Restore: set sp = frame, then sigreturn.
+                # (done in raw asm below)
+            ],
+        )
+        # Simpler: handler body in raw asm for exact SP control.
+        from repro.isa.assembler import A
+        from repro.isa.registers import R0 as AR0, R2 as AR2, SP as ASP
+
+        handler = Func(
+            "on_sig",
+            ["sig", "frame"],
+            [
+                Asm(
+                    [
+                        A.movr(ASP, AR2),  # SP = signal frame
+                        A.mov(AR0, int(Sys.SIGRETURN)),
+                        A.syscall(),
+                    ]
+                )
+            ],
+        )
+        body = [
+            sys_(Sys.SIGACTION, Const(SIGUSR1), FuncRef("on_sig")),
+            Let("x", Const(5)),
+            sys_(Sys.KILL, Const(0), Const(SIGUSR1)),
+            # Execution resumes here with locals intact.
+            Return(BinOpLike := Var("x")),
+        ]
+        kernel = build_kernel(body, extra_funcs=[handler])
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == 5
+        assert proc.state is ProcessState.EXITED
+
+    def test_unhandled_signal_kills(self):
+        body = [
+            sys_(Sys.KILL, Const(0), Const(SIGUSR1)),
+            Return(Const(0)),
+        ]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.state is ProcessState.KILLED
+        assert proc.killed_by == SIGUSR1
+
+
+class TestInterception:
+    def test_install_handler_wraps_original(self):
+        """The FlowGuard mechanism: swap a syscall-table entry."""
+        kernel = build_kernel(
+            [
+                sys_(Sys.WRITE, Const(1), Global("msg"), Const(2)),
+                Return(Const(0)),
+            ],
+            data={"msg": "ok"},
+        )
+        log = []
+        original = kernel.install_handler(
+            Sys.WRITE,
+            lambda k, p: (log.append(p.pid), original(k, p))[1],
+        )
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert log == [proc.pid]
+        assert proc.stdout == bytearray(b"ok")
+
+    def test_interceptor_can_deny(self):
+        kernel = build_kernel(
+            [Return(sys_(Sys.UNLINK, Global("p")))], data={"p": "/x"}
+        )
+        kernel.fs.create("/x", b"")
+        kernel.install_handler(Sys.UNLINK, lambda k, p: -1)
+        proc = kernel.spawn("prog")
+        kernel.run(proc)
+        assert proc.exit_code == -1
+        assert kernel.fs.exists("/x")
+
+
+class TestFaults:
+    def test_wild_store_becomes_sigsegv(self):
+        body = [Store(Const(0xDEAD0000), Const(1)), Return(Const(0))]
+        kernel = build_kernel(body)
+        proc = kernel.spawn("prog")
+        state = kernel.run(proc)
+        assert state is ProcessState.KILLED
+        assert proc.killed_by == 11
+        assert proc.fault is not None

@@ -1,0 +1,381 @@
+"""Tests for the mini-language compiler."""
+
+import pytest
+
+from repro.binary import Loader
+from repro.cpu import Executor, Machine, PROT_READ, PROT_WRITE
+from repro.cpu.machine import to_signed
+from repro.lang import (
+    AddrOf,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    CallPtr,
+    CompileError,
+    Const,
+    Continue,
+    Func,
+    FuncRef,
+    Global,
+    If,
+    Let,
+    LocalArray,
+    Load,
+    Program,
+    Rel,
+    Return,
+    Store,
+    Switch,
+    SyscallExpr,
+    Var,
+    While,
+)
+from repro.isa.registers import R0, SP
+
+STACK_TOP = 0x7FFF0000
+
+
+def run_program(program, max_steps=1_000_000, syscall_handler=None):
+    image = Loader().load(program.build())
+    image.memory.map_region(
+        STACK_TOP - 0x10000, 0x10000, PROT_READ | PROT_WRITE
+    )
+    machine = Machine(image.memory)
+    machine.ip = image.entry_address
+    machine.set_reg(SP, STACK_TOP - 64)
+    cpu = Executor(machine, syscall_handler=syscall_handler)
+    cpu.run(max_steps)
+    return cpu
+
+
+def eval_main(body, extra_funcs=(), max_steps=1_000_000):
+    """Compile main() with ``body``; run; return signed r0."""
+    prog = Program("test")
+    for func in extra_funcs:
+        prog.add_func(func)
+    prog.add_func(Func("main", [], body))
+    prog.set_entry("main")
+    cpu = run_program(prog, max_steps)
+    assert cpu.machine.halted or True
+    return to_signed(cpu.machine.reg(R0))
+
+
+class TestExpressions:
+    def test_const_return(self):
+        assert eval_main([Return(Const(42))]) == 42
+
+    def test_arith(self):
+        expr = BinOp("+", BinOp("*", Const(6), Const(7)), Const(8))
+        assert eval_main([Return(expr)]) == 50
+
+    def test_nested_arith_uses_stack_temps(self):
+        # ((1+2)*(3+4)) - (10/2) = 21 - 5 = 16
+        expr = BinOp(
+            "-",
+            BinOp("*", BinOp("+", Const(1), Const(2)),
+                  BinOp("+", Const(3), Const(4))),
+            BinOp("/", Const(10), Const(2)),
+        )
+        assert eval_main([Return(expr)]) == 16
+
+    def test_mod_and_shifts(self):
+        assert eval_main([Return(BinOp("%", Const(17), Const(5)))]) == 2
+        assert eval_main([Return(BinOp("<<", Const(3), Const(4)))]) == 48
+        assert eval_main([Return(BinOp(">>", Const(48), Const(4)))]) == 3
+
+    def test_bitwise(self):
+        assert eval_main([Return(BinOp("&", Const(0b1100), Const(0b1010)))]) == 0b1000
+        assert eval_main([Return(BinOp("|", Const(0b1100), Const(0b1010)))]) == 0b1110
+        assert eval_main([Return(BinOp("^", Const(0b1100), Const(0b1010)))]) == 0b0110
+
+    def test_rel_as_value(self):
+        assert eval_main([Return(Rel("<", Const(1), Const(2)))]) == 1
+        assert eval_main([Return(Rel(">", Const(1), Const(2)))]) == 0
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main([Return(BinOp("**", Const(2), Const(3)))])
+
+
+class TestLocals:
+    def test_let_assign(self):
+        assert (
+            eval_main(
+                [
+                    Let("x", Const(10)),
+                    Assign("x", BinOp("+", Var("x"), Const(5))),
+                    Return(Var("x")),
+                ]
+            )
+            == 15
+        )
+
+    def test_undeclared_local_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main([Assign("ghost", Const(1))])
+
+    def test_array_addr_and_byte_store(self):
+        body = [
+            LocalArray("buf", 16),
+            Store(AddrOf("buf"), Const(65), offset=0, byte=True),
+            Store(AddrOf("buf"), Const(66), offset=1, byte=True),
+            Return(Load(AddrOf("buf"), offset=1, byte=True)),
+        ]
+        assert eval_main(body) == 66
+
+    def test_array_used_as_scalar_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main([LocalArray("buf", 8), Return(Var("buf"))])
+
+    def test_word_store_load(self):
+        body = [
+            LocalArray("buf", 32),
+            Store(AddrOf("buf"), Const(0xCAFE), offset=8),
+            Return(Load(AddrOf("buf"), offset=8)),
+        ]
+        assert eval_main(body) == 0xCAFE
+
+
+class TestControl:
+    def test_if_else(self):
+        def branchy(n):
+            return [
+                Let("x", Const(n)),
+                If(
+                    Rel(">", Var("x"), Const(10)),
+                    [Return(Const(1))],
+                    [Return(Const(2))],
+                ),
+            ]
+
+        assert eval_main(branchy(11)) == 1
+        assert eval_main(branchy(9)) == 2
+
+    def test_while_sum(self):
+        body = [
+            Let("i", Const(0)),
+            Let("acc", Const(0)),
+            While(
+                Rel("<", Var("i"), Const(10)),
+                [
+                    Assign("acc", BinOp("+", Var("acc"), Var("i"))),
+                    Assign("i", BinOp("+", Var("i"), Const(1))),
+                ],
+            ),
+            Return(Var("acc")),
+        ]
+        assert eval_main(body) == 45
+
+    def test_break_continue(self):
+        body = [
+            Let("i", Const(0)),
+            Let("acc", Const(0)),
+            While(
+                Const(1),
+                [
+                    Assign("i", BinOp("+", Var("i"), Const(1))),
+                    If(Rel(">", Var("i"), Const(10)), [Break()]),
+                    If(Rel("==", BinOp("%", Var("i"), Const(2)), Const(0)),
+                       [Continue()]),
+                    Assign("acc", BinOp("+", Var("acc"), Var("i"))),
+                ],
+            ),
+            Return(Var("acc")),  # 1+3+5+7+9
+        ]
+        assert eval_main(body) == 25
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main([Break()])
+
+    def test_switch_dense(self):
+        def pick(n):
+            return [
+                Let("x", Const(n)),
+                Switch(
+                    Var("x"),
+                    {
+                        1: [Return(Const(100))],
+                        2: [Return(Const(200))],
+                        4: [Return(Const(400))],
+                    },
+                    default=[Return(Const(-1))],
+                ),
+            ]
+
+        assert eval_main(pick(1)) == 100
+        assert eval_main(pick(2)) == 200
+        assert eval_main(pick(3)) == -1  # hole -> default
+        assert eval_main(pick(4)) == 400
+        assert eval_main(pick(99)) == -1  # out of range
+        assert eval_main(pick(-5)) == -1  # below range
+
+    def test_switch_too_sparse_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main(
+                [Switch(Const(0), {0: [Return(Const(0))],
+                                   1000: [Return(Const(1))]})]
+            )
+
+    def test_fall_off_end_returns_zero(self):
+        assert eval_main([Let("x", Const(5))]) == 0
+
+
+class TestCalls:
+    def test_direct_call(self):
+        double = Func("double", ["n"], [Return(BinOp("*", Var("n"), Const(2)))])
+        assert eval_main([Return(Call("double", [Const(21)]))], [double]) == 42
+
+    def test_recursion(self):
+        fact = Func(
+            "fact",
+            ["n"],
+            [
+                If(
+                    Rel("<=", Var("n"), Const(1)),
+                    [Return(Const(1))],
+                    [
+                        Return(
+                            BinOp(
+                                "*",
+                                Var("n"),
+                                Call("fact", [BinOp("-", Var("n"), Const(1))]),
+                            )
+                        )
+                    ],
+                )
+            ],
+        )
+        assert eval_main([Return(Call("fact", [Const(6)]))], [fact]) == 720
+
+    def test_five_args(self):
+        addup = Func(
+            "addup",
+            ["a", "b", "c", "d", "e"],
+            [
+                Return(
+                    BinOp(
+                        "+",
+                        BinOp("+", BinOp("+", Var("a"), Var("b")),
+                              BinOp("+", Var("c"), Var("d"))),
+                        Var("e"),
+                    )
+                )
+            ],
+        )
+        args = [Const(i) for i in (1, 2, 3, 4, 5)]
+        assert eval_main([Return(Call("addup", args))], [addup]) == 15
+
+    def test_too_many_args_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main([Return(Call("f", [Const(0)] * 6))])
+
+    def test_indirect_call_through_pointer(self):
+        inc = Func("inc", ["n"], [Return(BinOp("+", Var("n"), Const(1)))])
+        dec = Func("dec", ["n"], [Return(BinOp("-", Var("n"), Const(1)))])
+        body = [
+            Let("fp", FuncRef("dec")),
+            Return(CallPtr(Var("fp"), [Const(10)])),
+        ]
+        assert eval_main(body, [inc, dec]) == 9
+
+    def test_call_args_evaluated_with_nested_calls(self):
+        one = Func("one", [], [Return(Const(1))])
+        addf = Func("addf", ["a", "b"], [Return(BinOp("+", Var("a"), Var("b")))])
+        body = [
+            Return(Call("addf", [Call("one", []), BinOp("+", Call("one", []), Const(5))]))
+        ]
+        assert eval_main(body, [one, addf]) == 7
+
+    def test_callptr_through_table(self):
+        f1 = Func("h1", [], [Return(Const(111))])
+        f2 = Func("h2", [], [Return(Const(222))])
+        prog = Program("test")
+        prog.add_func(f1).add_func(f2)
+        prog.add_pointer_table("handlers", ["h1", "h2"])
+        prog.add_func(
+            Func(
+                "main",
+                [],
+                [
+                    Let("t", Global("handlers")),
+                    Return(CallPtr(Load(Var("t"), offset=8), []))
+                ],
+            )
+        )
+        prog.set_entry("main")
+        cpu = run_program(prog)
+        assert to_signed(cpu.machine.reg(R0)) == 222
+
+
+class TestSyscallsAndGlobals:
+    def test_syscall_expr(self):
+        seen = []
+
+        def handler(machine):
+            if machine.reg(0) == 33:  # ignore the _start exit syscall
+                seen.append((machine.reg(0), machine.reg(1)))
+                machine.set_reg(0, 7)
+
+        prog = Program("test")
+        prog.add_func(
+            Func("main", [], [Return(SyscallExpr(33, [Const(5)]))])
+        )
+        prog.set_entry("main")
+        cpu = run_program(prog, syscall_handler=handler)
+        assert seen == [(33, 5)]
+        assert cpu.machine.reg(R0) == 7
+
+    def test_global_string(self):
+        prog = Program("test")
+        prog.add_string("msg", "Hi")
+        prog.add_func(
+            Func("main", [], [Return(Load(Global("msg"), offset=0, byte=True))])
+        )
+        prog.set_entry("main")
+        cpu = run_program(prog)
+        assert cpu.machine.reg(R0) == ord("H")
+
+
+class TestStackSmashLayout:
+    def test_overflow_reaches_return_address(self):
+        """Writing past a local array must clobber the return address.
+
+        Frame layout for victim(tgt) with buf[8]: tgt at fp-8, buf at
+        [fp-16, fp-8); so buf+16 is the saved FP and buf+24 the return
+        address — the classic C stack-smash geometry.
+        """
+        from repro.isa.assembler import A
+        from repro.lang import Asm
+
+        prog = Program("smash")
+        prog.add_func(
+            Func(
+                "attacker_target",
+                [],
+                [Asm([A.mov(R0, 0x600D), A.halt()])],
+            )
+        )
+        prog.add_func(
+            Func(
+                "victim",
+                ["tgt"],
+                [
+                    LocalArray("buf", 8),
+                    Store(AddrOf("buf"), Var("tgt"), offset=24),
+                    Return(Const(1)),
+                ],
+            )
+        )
+        prog.add_func(
+            Func(
+                "main",
+                [],
+                [Return(Call("victim", [FuncRef("attacker_target")]))],
+            )
+        )
+        prog.set_entry("main")
+        cpu = run_program(prog)
+        assert to_signed(cpu.machine.reg(R0)) == 0x600D
+        assert cpu.machine.halted

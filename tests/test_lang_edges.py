@@ -1,0 +1,245 @@
+"""Edge-case tests for the mini-language compiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binary import Loader
+from repro.cpu import Executor, Machine, PROT_READ, PROT_WRITE
+from repro.cpu.machine import to_signed
+from repro.isa.registers import R0, SP
+from repro.lang import (
+    AddrOf,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    CallPtr,
+    CompileError,
+    Const,
+    Continue,
+    Func,
+    FuncRef,
+    Global,
+    If,
+    Let,
+    LocalArray,
+    Load,
+    Program,
+    Rel,
+    Return,
+    Store,
+    Switch,
+    Var,
+    While,
+)
+
+STACK_TOP = 0x7FFF0000
+
+
+def run_program(prog, max_steps=2_000_000):
+    image = Loader().load(prog.build())
+    image.memory.map_region(
+        STACK_TOP - 0x20000, 0x20000, PROT_READ | PROT_WRITE
+    )
+    machine = Machine(image.memory)
+    machine.ip = image.entry_address
+    machine.set_reg(SP, STACK_TOP - 64)
+    cpu = Executor(machine)
+    cpu.run(max_steps)
+    assert cpu.machine.halted
+    return to_signed(cpu.machine.reg(R0))
+
+
+def eval_main(body, extra=()):
+    prog = Program("edge")
+    for func in extra:
+        prog.add_func(func)
+    prog.add_func(Func("main", [], body))
+    prog.set_entry("main")
+    return run_program(prog)
+
+
+class TestExpressionEdges:
+    def test_deeply_nested_expression(self):
+        expr = Const(1)
+        for _ in range(30):
+            expr = BinOp("+", expr, Const(1))
+        assert eval_main([Return(expr)]) == 31
+
+    def test_call_in_condition(self):
+        is_even = Func(
+            "is_even", ["n"],
+            [Return(Rel("==", BinOp("%", Var("n"), Const(2)), Const(0)))],
+        )
+        body = [
+            If(Call("is_even", [Const(4)]),
+               [Return(Const(1))], [Return(Const(2))]),
+        ]
+        assert eval_main(body, [is_even]) == 1
+
+    def test_callptr_target_is_call_result(self):
+        pick = Func("pick", [], [Return(FuncRef("forty"))])
+        forty = Func("forty", [], [Return(Const(40))])
+        body = [Return(CallPtr(Call("pick", []), []))]
+        assert eval_main(body, [pick, forty]) == 40
+
+    def test_nested_callptr_in_args(self):
+        one = Func("one", [], [Return(Const(1))])
+        addf = Func("addf", ["a", "b"],
+                    [Return(BinOp("+", Var("a"), Var("b")))])
+        body = [
+            Let("f", FuncRef("one")),
+            Return(Call("addf",
+                        [CallPtr(Var("f"), []),
+                         CallPtr(Var("f"), [])])),
+        ]
+        assert eval_main(body, [one, addf]) == 2
+
+    def test_store_with_global_address(self):
+        prog = Program("edge")
+        prog.add_zeros("slot", 8)
+        prog.add_func(
+            Func("main", [],
+                 [Store(Global("slot"), Const(99)),
+                  Return(Load(Global("slot")))])
+        )
+        prog.set_entry("main")
+        assert run_program(prog) == 99
+
+    def test_byte_store_truncates(self):
+        body = [
+            LocalArray("b", 8),
+            Store(AddrOf("b"), Const(0x1FF), byte=True),
+            Return(Load(AddrOf("b"), byte=True)),
+        ]
+        assert eval_main(body) == 0xFF
+
+
+class TestControlEdges:
+    def test_single_case_switch(self):
+        body = [
+            Switch(Const(0), {0: [Return(Const(5))]},
+                   default=[Return(Const(-1))]),
+        ]
+        assert eval_main(body) == 5
+
+    def test_switch_negative_keys(self):
+        def pick(n):
+            return [
+                Switch(Const(n),
+                       {-1: [Return(Const(10))], 0: [Return(Const(20))],
+                        1: [Return(Const(30))]},
+                       default=[Return(Const(0))]),
+            ]
+        assert eval_main(pick(-1)) == 10
+        assert eval_main(pick(1)) == 30
+        assert eval_main(pick(-7)) == 0
+
+    def test_switch_fall_to_end_without_return(self):
+        body = [
+            Let("x", Const(0)),
+            Switch(Const(1),
+                   {0: [Assign("x", Const(5))],
+                    1: [Assign("x", Const(6))]},
+                   default=[Assign("x", Const(7))]),
+            Return(Var("x")),
+        ]
+        assert eval_main(body) == 6
+
+    def test_nested_loops_with_break_continue(self):
+        body = [
+            Let("total", Const(0)),
+            Let("i", Const(0)),
+            While(
+                Rel("<", Var("i"), Const(5)),
+                [
+                    Assign("i", BinOp("+", Var("i"), Const(1))),
+                    Let("j", Const(0)),
+                    While(
+                        Const(1),
+                        [
+                            Assign("j", BinOp("+", Var("j"), Const(1))),
+                            If(Rel(">", Var("j"), Var("i")), [Break()]),
+                            If(Rel("==", Var("j"), Const(2)),
+                               [Continue()]),
+                            Assign("total",
+                                   BinOp("+", Var("total"), Const(1))),
+                        ],
+                    ),
+                ],
+            ),
+            Return(Var("total")),  # sum over i of (i minus the j==2 skip)
+        ]
+        assert eval_main(body) == (1 + 1 + 2 + 3 + 4)
+
+    def test_while_condition_with_call(self):
+        dec = Func("dec", ["n"], [Return(BinOp("-", Var("n"), Const(1)))])
+        body = [
+            Let("n", Const(5)),
+            Let("steps", Const(0)),
+            While(
+                Rel(">", Var("n"), Const(0)),
+                [
+                    Assign("n", Call("dec", [Var("n")])),
+                    Assign("steps", BinOp("+", Var("steps"), Const(1))),
+                ],
+            ),
+            Return(Var("steps")),
+        ]
+        assert eval_main(body, [dec]) == 5
+
+    def test_return_inside_switch_inside_loop(self):
+        body = [
+            Let("i", Const(0)),
+            While(
+                Const(1),
+                [
+                    Assign("i", BinOp("+", Var("i"), Const(1))),
+                    Switch(BinOp("%", Var("i"), Const(3)),
+                           {0: [Return(Var("i"))]},
+                           default=[]),
+                ],
+            ),
+        ]
+        assert eval_main(body) == 3
+
+
+class TestCompileErrors:
+    def test_six_params_rejected(self):
+        with pytest.raises(CompileError):
+            prog = Program("x")
+            prog.add_func(
+                Func("f", [f"p{i}" for i in range(6)],
+                     [Return(Const(0))])
+            )
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError):
+            eval_main([Continue()])
+
+    def test_shadowing_param_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main_with_param()
+
+    def test_empty_switch_rejected(self):
+        with pytest.raises(CompileError):
+            eval_main([Switch(Const(0), {})])
+
+
+def eval_main_with_param():
+    prog = Program("x")
+    prog.add_func(
+        Func("f", ["a"], [LocalArray("a", 8), Return(Const(0))])
+    )
+    prog.build()
+
+
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_sum_compiles_correctly(values):
+    """Differential property: compiled summation == Python summation."""
+    body = [Let("acc", Const(0))]
+    for value in values:
+        body.append(Assign("acc", BinOp("+", Var("acc"), Const(value))))
+    body.append(Return(Var("acc")))
+    assert eval_main(body) == sum(values)

@@ -1,0 +1,191 @@
+"""Tests for the slow path: shadow stack + fine-grained forward edges."""
+
+import pytest
+
+from repro.analysis import ControlFlowGraph, Edge, EdgeKind
+from repro.analysis.cfg import BasicBlock
+from repro.cpu import CoFIKind, Memory
+from repro.ipt.full_decoder import FlowEdge
+from repro.monitor import (
+    ShadowStack,
+    ShadowStackViolation,
+    SlowPathEngine,
+)
+from repro.monitor.shadowstack import (
+    _DIRECT_CALL_LEN,
+    _INDIRECT_CALL_LEN,
+)
+
+
+class TestShadowStack:
+    def test_matched_call_ret(self):
+        shadow = ShadowStack()
+        shadow.feed(FlowEdge(CoFIKind.DIRECT_CALL, 0x100, 0x200))
+        shadow.feed(FlowEdge(CoFIKind.RET, 0x210, 0x100 + _DIRECT_CALL_LEN))
+        assert shadow.checked_returns == 1
+        assert shadow.depth == 0
+
+    def test_indirect_call_return_length(self):
+        shadow = ShadowStack()
+        shadow.feed(FlowEdge(CoFIKind.INDIRECT_CALL, 0x100, 0x300))
+        shadow.feed(
+            FlowEdge(CoFIKind.RET, 0x310, 0x100 + _INDIRECT_CALL_LEN)
+        )
+        assert shadow.checked_returns == 1
+
+    def test_hijacked_return_raises(self):
+        shadow = ShadowStack()
+        shadow.feed(FlowEdge(CoFIKind.DIRECT_CALL, 0x100, 0x200))
+        with pytest.raises(ShadowStackViolation) as exc:
+            shadow.feed(FlowEdge(CoFIKind.RET, 0x210, 0xBAD))
+        assert exc.value.expected == 0x100 + _DIRECT_CALL_LEN
+        assert exc.value.actual == 0xBAD
+
+    def test_nested_calls_lifo(self):
+        shadow = ShadowStack()
+        shadow.feed(FlowEdge(CoFIKind.DIRECT_CALL, 0x100, 0x200))
+        shadow.feed(FlowEdge(CoFIKind.DIRECT_CALL, 0x200, 0x300))
+        shadow.feed(FlowEdge(CoFIKind.RET, 0x310, 0x200 + _DIRECT_CALL_LEN))
+        shadow.feed(FlowEdge(CoFIKind.RET, 0x210, 0x100 + _DIRECT_CALL_LEN))
+        assert shadow.checked_returns == 2
+
+    def test_window_start_unknown_returns_tolerated(self):
+        """A ret before any call in the window cannot be checked."""
+        shadow = ShadowStack()
+        shadow.feed(FlowEdge(CoFIKind.RET, 0x100, 0x200))
+        assert shadow.unknown_returns == 1
+        assert shadow.checked_returns == 0
+
+    def test_non_call_edges_ignored(self):
+        shadow = ShadowStack()
+        shadow.feed(FlowEdge(CoFIKind.COND_BRANCH, 0x100, 0x110))
+        shadow.feed(FlowEdge(CoFIKind.DIRECT_JMP, 0x110, 0x120))
+        assert shadow.depth == 0
+
+
+def make_cfg_with_indirect(branch_addr, allowed_targets,
+                           kind=EdgeKind.INDIRECT_CALL):
+    cfg = ControlFlowGraph()
+    block = BasicBlock(branch_addr & ~0xF, (branch_addr & ~0xF) + 0x20, "m")
+    cfg.add_block(block)
+    for target in allowed_targets:
+        cfg.add_block(BasicBlock(target, target + 0x10, "m"))
+        cfg.add_edge(Edge(block.start, target, kind, branch_addr))
+    return cfg
+
+
+class TestSlowPathForwardEdges:
+    def _engine(self, cfg):
+        return SlowPathEngine(Memory(), cfg)
+
+    def test_indirect_call_inside_set_via_decoder(self):
+        """End-to-end: a real traced run with an indirect call passes."""
+        from repro.analysis import build_ocfg
+        from repro.binary import Loader
+        from repro.cpu import Executor, Machine
+        from repro.cpu import PROT_READ, PROT_WRITE
+        from repro.ipt import IPTConfig, IPTEncoder, ToPA, ToPARegion
+        from repro.ipt import fast_decode
+        from repro.ipt.msr import RTIT_CTL
+        from repro.isa.registers import SP
+        from repro.lang import (
+            CallPtr, Const, Func, FuncRef, Let, Program, Return, Var,
+        )
+
+        prog = Program("t")
+        prog.add_func(Func("target_fn", ["x"], [Return(Var("x"))]))
+        prog.add_func(
+            Func("main", [],
+                 [Let("f", FuncRef("target_fn")),
+                  Return(CallPtr(Var("f"), [Const(3)]))])
+        )
+        prog.set_entry("main")
+        image = Loader().load(prog.build())
+        image.memory.map_region(0x7FFE0000, 0x10000,
+                                PROT_READ | PROT_WRITE)
+        machine = Machine(image.memory)
+        machine.ip = image.entry_address
+        machine.set_reg(SP, 0x7FFEFF00)
+        cpu = Executor(machine)
+        config = IPTConfig()
+        config.write_ctl(
+            RTIT_CTL.TRACE_EN | RTIT_CTL.BRANCH_EN | RTIT_CTL.USER
+        )
+        encoder = IPTEncoder(config, output=ToPA([ToPARegion(1 << 16)]))
+        cpu.add_listener(encoder.on_branch)
+        cpu.run(100_000)
+        encoder.flush()
+        packets = fast_decode(encoder.output.snapshot()).packets
+        engine = SlowPathEngine(image.memory, build_ocfg(image))
+        result = engine.check(packets)
+        assert result.ok, result.reason
+        assert result.insns_decoded > 0
+        assert result.cycles > 0
+
+    def test_forward_edge_violation_detected(self):
+        """Synthetic packets steering an indirect call off-CFG."""
+        # Reuse the same program but tamper with the O-CFG so the real
+        # target is no longer allowed.
+        from repro.analysis import build_ocfg
+        from repro.binary import Loader
+        from repro.cpu import Executor, Machine
+        from repro.cpu import PROT_READ, PROT_WRITE
+        from repro.ipt import IPTConfig, IPTEncoder, ToPA, ToPARegion
+        from repro.ipt import fast_decode
+        from repro.ipt.msr import RTIT_CTL
+        from repro.isa.registers import SP
+        from repro.lang import (
+            CallPtr, Const, Func, FuncRef, Let, Program, Return, Var,
+        )
+
+        prog = Program("t")
+        prog.add_func(Func("target_fn", ["x"], [Return(Var("x"))]))
+        prog.add_func(
+            Func("main", [],
+                 [Let("f", FuncRef("target_fn")),
+                  Return(CallPtr(Var("f"), [Const(3)]))])
+        )
+        prog.set_entry("main")
+        image = Loader().load(prog.build())
+        image.memory.map_region(0x7FFE0000, 0x10000,
+                                PROT_READ | PROT_WRITE)
+        machine = Machine(image.memory)
+        machine.ip = image.entry_address
+        machine.set_reg(SP, 0x7FFEFF00)
+        cpu = Executor(machine)
+        config = IPTConfig()
+        config.write_ctl(
+            RTIT_CTL.TRACE_EN | RTIT_CTL.BRANCH_EN | RTIT_CTL.USER
+        )
+        encoder = IPTEncoder(config, output=ToPA([ToPARegion(1 << 16)]))
+        cpu.add_listener(encoder.on_branch)
+        cpu.run(100_000)
+        encoder.flush()
+        packets = fast_decode(encoder.output.snapshot()).packets
+
+        ocfg = build_ocfg(image)
+        # Empty every indirect-call target set: the observed call is now
+        # a forward-edge violation.
+        for branch in list(ocfg.indirect_targets):
+            ocfg.indirect_targets[branch] = set()
+        engine = SlowPathEngine(image.memory, ocfg)
+        result = engine.check(packets)
+        assert not result.ok
+        assert "violation" in result.reason
+
+    def test_upcall_cost_always_charged(self):
+        from repro import costs
+
+        engine = SlowPathEngine(Memory(), ControlFlowGraph())
+        result = engine.check([])
+        assert result.ok
+        assert result.cycles >= costs.SLOWPATH_UPCALL_CYCLES
+
+    def test_desync_reported_not_raised(self):
+        from repro.ipt.packets import DecodedPacket, PacketKind
+
+        engine = SlowPathEngine(Memory(), ControlFlowGraph())
+        packets = [DecodedPacket(PacketKind.TIP_PGE, 0, ip=0xDEAD)]
+        result = engine.check(packets)
+        assert not result.ok
+        assert "desync" in result.reason

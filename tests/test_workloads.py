@@ -1,0 +1,299 @@
+"""Tests for the workload programs: correctness and branch personality."""
+
+import pytest
+
+from repro.cpu import CoFIKind
+from repro.osmodel import Kernel, ProcessState
+from repro.workloads import (
+    SPEC_BUILDERS,
+    UTILITY_BUILDERS,
+    build_dd,
+    build_launcher,
+    build_libsim,
+    build_make,
+    build_nginx,
+    build_scp,
+    build_tar,
+    build_vdso,
+    build_vsftpd,
+    exim_session,
+    nginx_request,
+    openssh_session,
+    vsftpd_session,
+)
+from repro.workloads.spec import SPEC_NAMES, build_spec_program
+from repro.workloads.utilities import (
+    DD_INPUT,
+    DD_OUTPUT,
+    MAKE_OUTPUT,
+    SCP_INPUT,
+    SCP_OUTPUT,
+    TAR_OUTPUT,
+    seed_utility_inputs,
+)
+
+LIBS = {"libsim.so": build_libsim()}
+
+
+def run_server(builder, name, payloads, fs=None):
+    kernel = Kernel()
+    for path, contents in (fs or {}).items():
+        kernel.fs.create(path, contents)
+    kernel.register_program(name, builder(), LIBS, vdso=build_vdso())
+    proc = kernel.spawn(name)
+    conns = [proc.push_connection(p) for p in payloads]
+    kernel.run(proc)
+    return kernel, proc, conns
+
+
+class TestLibsim:
+    def test_gadget_functions_exported(self):
+        lib = build_libsim()
+        for name in ("setcontext", "sigreturn", "memcpy", "strcpy",
+                     "malloc", "write_str", "puts"):
+            assert name in lib.symbols, name
+
+    def test_puts_is_a_tail_call(self):
+        """puts jmp's into write_str: an inter-procedural direct jump
+        the §4.1 tail-call handling must see."""
+        from repro.analysis import build_ocfg, EdgeKind
+        from repro.binary import Loader
+        from repro.lang import Call, Const, Func, Global, Program, Return
+
+        prog = Program("app")
+        prog.add_needed("libsim.so")
+        prog.import_symbol("puts")
+        prog.add_string("msg", "hi")
+        prog.add_func(
+            Func("main", [], [Return(Call("puts", [Global("msg")]))])
+        )
+        prog.set_entry("main")
+        image = Loader(LIBS).load(prog.build())
+        cfg = build_ocfg(image)
+        lib = image.by_name("libsim.so")
+        # write_str's ret must be able to return to the *executable*
+        # (via puts' caller), the tail-call closure at work.
+        ret_edges = [
+            e for e in cfg.edges
+            if e.kind is EdgeKind.RET
+            and cfg.block_at(e.branch_addr).function == "write_str"
+        ]
+        assert any(cfg.blocks[e.dst].module == "app" for e in ret_edges)
+
+    def test_puts_writes_stdout(self):
+        from repro.lang import Call, Const, Func, Global, Program, Return
+
+        prog = Program("app")
+        prog.add_needed("libsim.so")
+        prog.import_symbol("puts")
+        prog.add_string("msg", "tailcall!")
+        prog.add_func(
+            Func("main", [], [Return(Call("puts", [Global("msg")]))])
+        )
+        prog.set_entry("main")
+        kernel = Kernel()
+        kernel.register_program("app", prog.build(), LIBS)
+        proc = kernel.spawn("app")
+        kernel.run(proc)
+        assert proc.stdout == bytearray(b"tailcall!")
+        assert proc.exit_code == 9  # write() length propagates
+
+    def test_malloc_bump_allocator(self):
+        from repro.lang import (
+            BinOp, Call, Const, Func, Program, Return, Let, Store, Load, Var,
+        )
+
+        prog = Program("app")
+        prog.add_needed("libsim.so")
+        prog.import_symbol("malloc")
+        prog.add_func(
+            Func(
+                "main", [],
+                [
+                    Let("a", Call("malloc", [Const(16)])),
+                    Let("b", Call("malloc", [Const(16)])),
+                    Store(Var("a"), Const(11)),
+                    Store(Var("b"), Const(22)),
+                    Return(BinOp("+", Load(Var("a")), Load(Var("b")))),
+                ],
+            )
+        )
+        prog.set_entry("main")
+        kernel = Kernel()
+        kernel.register_program("app", prog.build(), LIBS)
+        proc = kernel.spawn("app")
+        kernel.run(proc)
+        assert proc.exit_code == 33
+
+
+class TestServers:
+    def test_nginx_head_request(self):
+        _, proc, conns = run_server(
+            build_nginx, "nginx",
+            [nginx_request("/x", "HEAD")],
+        )
+        assert bytes(conns[0].outbound) == b"HTTP/1.1 200 OK\n\n"
+
+    def test_nginx_bad_method(self):
+        _, proc, conns = run_server(build_nginx, "nginx", [b"PUT /x\n"])
+        assert b"400" in bytes(conns[0].outbound)
+
+    def test_nginx_serves_file_contents(self):
+        _, proc, conns = run_server(
+            build_nginx, "nginx",
+            [nginx_request("/f.txt")],
+            fs={"/f.txt": b"payload-bytes" * 50},
+        )
+        out = bytes(conns[0].outbound)
+        assert out.startswith(b"HTTP/1.1 200")
+        assert out.endswith(b"payload-bytes")
+        assert out.count(b"payload-bytes") == 50
+
+    def test_vsftpd_stor_roundtrip(self):
+        kernel, proc, conns = run_server(
+            build_vsftpd, "vsftpd",
+            [b"USER u\nPASS p\nSTOR /up.bin\nhello-upload\nQUIT\n"],
+        )
+        # STOR consumes the rest of the connection stream.
+        assert kernel.fs.exists("/up.bin")
+        assert b"hello-upload" in kernel.fs.contents("/up.bin")
+
+    def test_vsftpd_requires_auth(self):
+        _, proc, conns = run_server(
+            build_vsftpd, "vsftpd",
+            [b"RETR /srv/file\nQUIT\n"],
+            fs={"/srv/file": b"secret"},
+        )
+        out = bytes(conns[0].outbound)
+        assert b"500" in out
+        assert b"secret" not in out
+
+    def test_openssh_rejects_bad_password(self):
+        _, proc, conns = run_server(
+            build_openssh_alias(), "openssh",
+            [b"admin\nwrong\nwhoami\nexit\n"],
+        )
+        out = bytes(conns[0].outbound)
+        assert b"auth failed" in out
+        assert b"admin\n" not in out.split(b"auth failed")[1]
+
+    def test_exim_bad_sequence(self):
+        _, proc, conns = run_server(
+            build_exim_alias(), "exim",
+            [b"MAIL FROM:<a@b>\nQUIT\n"],
+        )
+        assert b"503" in bytes(conns[0].outbound)
+
+    def test_exim_spools_mail(self):
+        kernel, proc, conns = run_server(
+            build_exim_alias(), "exim", [exim_session()]
+        )
+        assert kernel.fs.exists("/var/spool/mail.out")
+        assert b"hello" in kernel.fs.contents("/var/spool/mail.out")
+
+
+def build_openssh_alias():
+    from repro.workloads import build_openssh
+
+    return build_openssh
+
+
+def build_exim_alias():
+    from repro.workloads import build_exim
+
+    return build_exim
+
+
+class TestUtilities:
+    def launch(self, name):
+        kernel = Kernel()
+        seed_utility_inputs(kernel.fs)
+        kernel.register_program(name, UTILITY_BUILDERS[name](), LIBS)
+        kernel.register_program(f"launch-{name}", build_launcher(name),
+                                LIBS)
+        proc = kernel.spawn(f"launch-{name}")
+        kernel.run(proc)
+        return kernel, proc
+
+    def test_tar_archives_all_inputs(self):
+        kernel, proc = self.launch("tar")
+        assert proc.exit_code == 0
+        archive = kernel.fs.contents(TAR_OUTPUT)
+        assert len(archive) > 3 * 1000  # three ~4 KiB files + headers
+
+    def test_dd_copies_exactly(self):
+        kernel, proc = self.launch("dd")
+        assert kernel.fs.contents(DD_OUTPUT) == kernel.fs.contents(DD_INPUT)
+
+    def test_make_dispatches_rules(self):
+        kernel, proc = self.launch("make")
+        log = kernel.fs.contents(MAKE_OUTPUT)
+        assert log.count(b"CC  ") == 2
+        assert log.count(b"LD  ") == 1
+        assert b"??  note" in log
+
+    def test_scp_copies_and_checksums(self):
+        kernel, proc = self.launch("scp")
+        assert kernel.fs.contents(SCP_OUTPUT) == kernel.fs.contents(
+            SCP_INPUT
+        )
+
+
+class TestSpecSuite:
+    @pytest.mark.parametrize("name", SPEC_NAMES)
+    def test_all_programs_run_clean(self, name):
+        kernel = Kernel()
+        kernel.register_program(name, build_spec_program(name, 1), LIBS)
+        proc = kernel.spawn(name)
+        state = kernel.run(proc, max_steps=30_000_000)
+        assert state is ProcessState.EXITED, proc.fault
+        assert proc.stdout  # the result digits were printed
+
+    def test_deterministic_results(self):
+        results = []
+        for _ in range(2):
+            kernel = Kernel()
+            kernel.register_program(
+                "gcc", build_spec_program("gcc", 1), LIBS
+            )
+            proc = kernel.spawn("gcc")
+            kernel.run(proc, max_steps=30_000_000)
+            results.append(proc.exit_code)
+        assert results[0] == results[1]
+
+    def test_h264ref_is_indirect_call_densest(self):
+        """The Figure 5c outlier: h264ref's indirect-call rate tops the
+        suite."""
+        def indirect_call_rate(name):
+            kernel = Kernel()
+            kernel.register_program(
+                name, build_spec_program(name, 1), LIBS
+            )
+            proc = kernel.spawn(name)
+            counts = {"calls": 0}
+
+            def listener(event):
+                if event.kind is CoFIKind.INDIRECT_CALL:
+                    counts["calls"] += 1
+
+            proc.executor.add_listener(listener)
+            kernel.run(proc, max_steps=30_000_000)
+            return counts["calls"] / proc.executor.insn_count
+
+        h264 = indirect_call_rate("h264ref")
+        for other in ("lbm", "bzip2", "mcf", "hmmer"):
+            assert h264 > 5 * indirect_call_rate(other)
+
+    def test_lbm_is_branch_sparse(self):
+        kernel = Kernel()
+        kernel.register_program("lbm", build_spec_program("lbm", 1), LIBS)
+        proc = kernel.spawn("lbm")
+        counts = {"cofi": 0}
+        proc.executor.add_listener(lambda e: counts.__setitem__(
+            "cofi", counts["cofi"] + 1))
+        kernel.run(proc, max_steps=30_000_000)
+        assert counts["cofi"] / proc.executor.insn_count < 0.08
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            build_spec_program("doom", 1)
