@@ -4,14 +4,60 @@ Every benchmark regenerates one of the paper's tables or figures: it
 runs the experiment once under pytest-benchmark (the interesting number
 is the *result*, not the harness wall-clock), prints the rendered
 table, and asserts the paper's shape claims.
+
+The whole suite runs with telemetry enabled so each benchmark's spans,
+metrics, and cycle profile are captured; the session writes a
+machine-readable ``BENCH_telemetry.json`` summary next to the repo
+root so results can be diffed across runs without scraping stdout.
 """
 
+import json
+
 import pytest
+
+from repro import telemetry
+
+#: per-benchmark records collected by run_once, flushed at session end.
+_BENCH_RECORDS = []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_enabled():
+    """Benchmarks exercise the instrumented paths with telemetry on."""
+    tel = telemetry.get_telemetry()
+    tel.reset()
+    tel.enable()
+    yield tel
+    tel.disable()
+    tel.reset()
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark fixture."""
-    return benchmark.pedantic(
-        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
-        warmup_rounds=0,
+    tel = telemetry.get_telemetry()
+    with tel.tracer.span(f"bench.{benchmark.name}") as span:
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+    tel.metrics.histogram("bench.duration_s").observe(
+        span.duration_s, bench=benchmark.name
     )
+    _BENCH_RECORDS.append(
+        {"bench": benchmark.name, "duration_s": span.duration_s}
+    )
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable benchmark summary (BENCH_*.json)."""
+    if not _BENCH_RECORDS:
+        return
+    tel = telemetry.get_telemetry()
+    payload = {
+        "exitstatus": int(exitstatus),
+        "benchmarks": _BENCH_RECORDS,
+        "telemetry": tel.snapshot(),
+    }
+    out = session.config.rootpath / "BENCH_telemetry.json"
+    out.write_text(json.dumps(payload, indent=2, default=str) + "\n")

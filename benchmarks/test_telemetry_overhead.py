@@ -1,0 +1,66 @@
+"""Bench T1 — telemetry's disabled-path overhead contract.
+
+The instrumented ``FastPathChecker.check`` differs from the raw check
+loop (``_check``) by exactly one enabled-flag test when telemetry is
+off.  This micro-benchmark measures both over the same captured nginx
+ToPA snapshot and asserts the wrapper costs < 5% wall-clock — the
+near-zero-overhead acceptance criterion for the telemetry subsystem.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro import telemetry
+from repro.experiments import micro
+from repro.itccfg.searchindex import FlowSearchIndex
+from repro.monitor.fastpath import FastPathChecker
+
+ITERATIONS = 30
+REPEATS = 5
+
+
+def _best_of(fn, *args):
+    """Best-of-REPEATS mean seconds per call — robust to scheduler noise."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(ITERATIONS):
+            fn(*args)
+        best = min(best, (time.perf_counter() - start) / ITERATIONS)
+    return best
+
+
+def _measure():
+    pipeline, proc, data = micro.capture_trace()
+    index = FlowSearchIndex(pipeline.labeled)
+    checker = FastPathChecker(
+        index, proc.image, pkt_count=30,
+        require_cross_module=False, require_executable=False,
+    )
+    tel = telemetry.get_telemetry()
+    was_enabled = tel.enabled
+    tel.disable()  # the contract under test is the *disabled* path
+    try:
+        # Warm both paths before timing.
+        checker._check(data)
+        checker.check(data)
+        raw = _best_of(checker._check, data)
+        wrapped = _best_of(checker.check, data)
+    finally:
+        if was_enabled:
+            tel.enable()
+    return raw, wrapped
+
+
+def test_disabled_telemetry_overhead(benchmark):
+    raw, wrapped = run_once(benchmark, _measure)
+    overhead = wrapped / raw - 1.0
+    print(
+        f"\nfast-path check: raw {raw * 1e6:.1f} µs, "
+        f"instrumented(disabled) {wrapped * 1e6:.1f} µs, "
+        f"overhead {overhead * 100:+.2f}%"
+    )
+    assert wrapped < raw * 1.05, (
+        f"disabled telemetry costs {overhead * 100:.2f}% (>5%)"
+    )

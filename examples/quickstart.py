@@ -4,11 +4,14 @@
 Walks the full Figure 1 pipeline: offline CFG construction + training,
 kernel-module installation, per-process IPT tracing, and endpoint
 checking — then serves benign traffic and shows the monitor's verdicts
-and cost breakdown.
+and cost breakdown.  Runs with telemetry on: exports a Chrome trace
+(`quickstart_trace.json`, load it in chrome://tracing or Perfetto) and
+checks that the cycle profiler reconciles exactly with MonitorStats.
 
 Run:  python examples/quickstart.py
 """
 
+from repro import telemetry
 from repro.osmodel import Kernel
 from repro.pipeline import FlowGuardPipeline
 from repro.workloads import (
@@ -20,6 +23,8 @@ from repro.workloads import (
 
 
 def main() -> None:
+    telemetry.enable()  # spans, metrics, and the cycle profiler
+
     # -- offline phase (steps 1-2: static analysis + fuzzing training) --
     pipeline = FlowGuardPipeline.offline(
         "nginx",
@@ -66,6 +71,19 @@ def main() -> None:
           f"/ other {stats.other_cycles:.0f} cycles)")
     assert not monitor.detections, "benign traffic must not trip CFI"
     print("\nno false positives — FlowGuard is conservative by design.")
+
+    # -- telemetry: trace export + exact cycle reconciliation ------------
+    tel = telemetry.get_telemetry()
+    report = tel.profiler.reconcile(monitor.all_stats())
+    assert report["exact"], f"profiler must reconcile exactly: {report}"
+    phases = ", ".join(
+        f"{phase} {cycles:.0f}"
+        for phase, cycles in sorted(tel.profiler.per_phase().items())
+    )
+    print(f"cycle profile reconciles with MonitorStats: {phases}")
+    events = tel.tracer.export_chrome("quickstart_trace.json")
+    print(f"wrote quickstart_trace.json ({events} spans) — open it in "
+          f"chrome://tracing")
 
 
 if __name__ == "__main__":

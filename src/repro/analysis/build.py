@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.telemetry import get_telemetry
 from repro.analysis.cfg import BasicBlock, ControlFlowGraph, Edge, EdgeKind
 from repro.binary.loader import Image, LoadedModule
 from repro.isa.encoding import decode_at
@@ -276,41 +277,55 @@ class CFGBuilder:
         return self.image.memory.read_u64(lm.data_base + got_offset)
 
     def build(self) -> ControlFlowGraph:
-        self._disassemble()
-        self._collect_address_taken()
-        for fn in self._functions:
-            self.cfg.function_arity[fn.name] = self._function_arity(fn)
+        tel = get_telemetry()
+        with tel.tracer.span("ocfg.disassemble"):
+            self._disassemble()
+        with tel.tracer.span("ocfg.address_taken"):
+            self._collect_address_taken()
+        with tel.tracer.span("ocfg.arity"):
+            for fn in self._functions:
+                self.cfg.function_arity[fn.name] = self._function_arity(fn)
 
-        # Candidate indirect-call targets: address-taken function entries
-        # keyed by arity for the TypeArmor match.
-        taken_functions = [
-            (entry, self.cfg.function_arity[self._entry_to_function[entry].name])
-            for entry in sorted(self.cfg.address_taken)
-            if entry in self._entry_to_function
-        ]
+        with tel.tracer.span("ocfg.blocks_edges"):
+            # Candidate indirect-call targets: address-taken function
+            # entries keyed by arity for the TypeArmor match.
+            taken_functions = [
+                (entry,
+                 self.cfg.function_arity[self._entry_to_function[entry].name])
+                for entry in sorted(self.cfg.address_taken)
+                if entry in self._entry_to_function
+            ]
 
-        all_blocks: Dict[int, BasicBlock] = {}
-        for fn in self._functions:
-            for block in self._split_blocks(fn):
-                all_blocks[block.start] = block
-                self.cfg.add_block(block)
+            all_blocks: Dict[int, BasicBlock] = {}
+            for fn in self._functions:
+                for block in self._split_blocks(fn):
+                    all_blocks[block.start] = block
+                    self.cfg.add_block(block)
 
-        deferred_rets: List[Tuple[_Function, int]] = []  # (fn, ret addr)
+            deferred_rets: List[Tuple[_Function, int]] = []  # (fn, ret addr)
 
-        for fn in self._functions:
-            index_of = {addr: i for i, (addr, _, _) in enumerate(fn.insns)}
-            for block in (
-                b for b in all_blocks.values()
-                if b.function == fn.name and b.module == fn.module.name
-                and fn.start <= b.start < fn.end
-            ):
-                self._block_edges(
-                    fn, block, all_blocks, taken_functions,
-                    index_of, deferred_rets,
-                )
+            for fn in self._functions:
+                index_of = {
+                    addr: i for i, (addr, _, _) in enumerate(fn.insns)
+                }
+                for block in (
+                    b for b in all_blocks.values()
+                    if b.function == fn.name and b.module == fn.module.name
+                    and fn.start <= b.start < fn.end
+                ):
+                    self._block_edges(
+                        fn, block, all_blocks, taken_functions,
+                        index_of, deferred_rets,
+                    )
 
-        self._propagate_tail_calls()
-        self._connect_returns(deferred_rets, all_blocks)
+        with tel.tracer.span("ocfg.returns"):
+            self._propagate_tail_calls()
+            self._connect_returns(deferred_rets, all_blocks)
+        if tel.enabled:
+            tel.metrics.counter("ocfg.builds").inc()
+            tel.metrics.counter("ocfg.functions_disassembled").inc(
+                len(self._functions)
+            )
         return self.cfg
 
     def _block_edges(

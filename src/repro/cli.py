@@ -13,17 +13,36 @@ Commands:
   report discovered paths.
 - ``disasm <server|utility|spec-name>`` — dump a workload's entry
   function as assembly text.
+- ``stats <server> [-n N] [--trace-out F] [--spans-out F]`` — run a
+  protected server with telemetry enabled and dump the metrics
+  snapshot (JSON), reconciled against the monitor's cycle accounting.
+
+``experiments`` and ``serve`` also accept ``--trace-out FILE`` to
+capture the run as a Chrome ``chrome://tracing`` trace-event file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
+
+
+def _export_trace(tracer, args: argparse.Namespace) -> None:
+    """Honor --trace-out/--spans-out if the subcommand defines them."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        count = tracer.export_chrome(trace_out)
+        print(f"[trace: {count} spans -> {trace_out}]", file=sys.stderr)
+    spans_out = getattr(args, "spans_out", None)
+    if spans_out:
+        count = tracer.export_jsonl(spans_out)
+        print(f"[spans: {count} spans -> {spans_out}]", file=sys.stderr)
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro import telemetry
     from repro.experiments import (
         ablations,
         fig5a,
@@ -61,10 +80,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
               file=sys.stderr)
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
-    for name in names:
-        start = time.perf_counter()
-        print(f"\n{registry[name]()}")
-        print(f"[{name}: {time.perf_counter() - start:.1f}s]")
+    tel = telemetry.get_telemetry()
+    enabled_here = bool(args.trace_out or args.spans_out) and not tel.enabled
+    if enabled_here:
+        tel.enable()
+    try:
+        for name in names:
+            # Wall-clock timing flows through the tracer, the same code
+            # path the trace exports read.
+            with tel.tracer.span("experiment", experiment=name) as span:
+                print(f"\n{registry[name]()}")
+            print(f"[{name}: {span.duration_s:.1f}s]")
+        _export_trace(tel.tracer, args)
+    finally:
+        if enabled_here:
+            tel.disable()
     return 0
 
 
@@ -120,27 +150,72 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import telemetry
     from repro.experiments.common import (
         run_server, seed_server_fs, server_requests,
     )
 
-    run = run_server(
-        args.server,
-        server_requests(args.server, args.sessions),
-        protected=not args.unprotected,
-    )
-    print(f"{args.server}: served with exit code {run.proc.exit_code}, "
-          f"{run.proc.executor.insn_count} instructions, "
-          f"{run.app_cycles:.0f} app cycles")
-    if run.stats is not None:
-        stats = run.stats
-        print(f"monitor: {stats.checks} checks, "
-              f"{stats.slow_path_runs} slow-path runs, "
-              f"overhead {run.overhead * 100:.2f}% "
-              f"(trace {stats.trace_cycles:.0f} / decode "
-              f"{stats.decode_cycles:.0f} / check "
-              f"{stats.check_cycles:.0f} / other "
-              f"{stats.other_cycles:.0f})")
+    tel = telemetry.get_telemetry()
+    enabled_here = bool(args.trace_out or args.spans_out) and not tel.enabled
+    if enabled_here:
+        tel.enable()
+    try:
+        run = run_server(
+            args.server,
+            server_requests(args.server, args.sessions),
+            protected=not args.unprotected,
+        )
+        print(f"{args.server}: served with exit code {run.proc.exit_code}, "
+              f"{run.proc.executor.insn_count} instructions, "
+              f"{run.app_cycles:.0f} app cycles")
+        if run.stats is not None:
+            stats = run.stats
+            print(f"monitor: {stats.checks} checks, "
+                  f"{stats.slow_path_runs} slow-path runs, "
+                  f"overhead {run.overhead * 100:.2f}% "
+                  f"(trace {stats.trace_cycles:.0f} / decode "
+                  f"{stats.decode_cycles:.0f} / check "
+                  f"{stats.check_cycles:.0f} / other "
+                  f"{stats.other_cycles:.0f})")
+        _export_trace(tel.tracer, args)
+    finally:
+        if enabled_here:
+            tel.disable()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a protected server under full telemetry and dump the
+    snapshot, reconciling the cycle profiler against MonitorStats."""
+    from repro import telemetry
+    from repro.experiments.common import run_server, server_requests
+
+    tel = telemetry.get_telemetry()
+    tel.reset()
+    tel.enable()
+    try:
+        run = run_server(
+            args.server,
+            server_requests(args.server, args.sessions),
+            protected=True,
+        )
+        assert run.monitor is not None and run.stats is not None
+        reconciliation = tel.profiler.reconcile(run.monitor.all_stats())
+        payload = {
+            "server": args.server,
+            "sessions": args.sessions,
+            "monitor": run.monitor.report(),
+            "telemetry": tel.snapshot(),
+            "reconciliation": reconciliation,
+        }
+        _export_trace(tel.tracer, args)
+    finally:
+        tel.disable()
+    json.dump(payload, sys.stdout, indent=2, default=str)
+    print()
+    if not reconciliation["exact"]:
+        print("cycle accounting does NOT reconcile", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -200,6 +275,17 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of this run",
+    )
+    parser.add_argument(
+        "--spans-out", default=None, metavar="FILE",
+        help="write the raw spans as JSON-lines",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -212,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("names", nargs="*",
                              help="subset of experiments (default all)")
+    _add_trace_options(experiments)
     experiments.set_defaults(func=_cmd_experiments)
 
     attack = sub.add_parser("attack", help="run one attack demo")
@@ -224,7 +311,18 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["nginx", "vsftpd", "openssh", "exim"])
     serve.add_argument("-n", "--sessions", type=int, default=8)
     serve.add_argument("--unprotected", action="store_true")
+    _add_trace_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a protected server under telemetry, dump the snapshot",
+    )
+    stats.add_argument("server",
+                       choices=["nginx", "vsftpd", "openssh", "exim"])
+    stats.add_argument("-n", "--sessions", type=int, default=4)
+    _add_trace_options(stats)
+    stats.set_defaults(func=_cmd_stats)
 
     fuzz = sub.add_parser("fuzz", help="run the miniature AFL campaign")
     fuzz.add_argument("server",
@@ -240,7 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
 

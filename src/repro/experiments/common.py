@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.monitor.flowguard import FlowGuardMonitor, MonitorStats
 from repro.monitor.policy import FlowGuardPolicy
 from repro.osmodel.kernel import Kernel
@@ -128,12 +129,24 @@ class ServerRun:
     app_cycles: float
     monitor: Optional[FlowGuardMonitor] = None
     stats: Optional[MonitorStats] = None
+    #: telemetry snapshot taken right after the run (None when disabled).
+    telemetry: Optional[dict] = None
 
     @property
     def overhead(self) -> float:
         if self.stats is None or self.app_cycles <= 0:
             return 0.0
         return self.stats.total_cycles / self.app_cycles
+
+
+def telemetry_snapshot() -> Optional[dict]:
+    """The process-wide telemetry snapshot, or None while disabled.
+
+    Experiments attach this to their results so every table/figure
+    carries the metrics that produced it.
+    """
+    tel = telemetry.get_telemetry()
+    return tel.snapshot() if tel.enabled else None
 
 
 def run_server(
@@ -144,6 +157,7 @@ def run_server(
     max_steps: int = 40_000_000,
 ) -> ServerRun:
     """Run one server over a batch of connections."""
+    tel = telemetry.get_telemetry()
     pipeline = server_pipeline(name)
     kernel = Kernel()
     seed_server_fs(kernel)
@@ -153,13 +167,18 @@ def run_server(
         monitor, proc = None, pipeline.spawn_unprotected(kernel)
     for request in requests:
         proc.push_connection(request)
-    kernel.run(proc, max_steps=max_steps)
+    with tel.tracer.span(
+        "server.run", server=name, protected=protected,
+        sessions=len(requests),
+    ):
+        kernel.run(proc, max_steps=max_steps)
     stats = monitor.stats_for(proc) if monitor is not None else None
     return ServerRun(
         proc=proc,
         app_cycles=proc.executor.cycles,
         monitor=monitor,
         stats=stats,
+        telemetry=telemetry_snapshot(),
     )
 
 
@@ -193,7 +212,9 @@ def run_spec_program(
     proc = kernel.spawn(name)
     for listener in listeners:
         proc.executor.add_listener(listener)
-    kernel.run(proc, max_steps=max_steps)
+    tel = telemetry.get_telemetry()
+    with tel.tracer.span("spec.run", program=name, protected=False):
+        kernel.run(proc, max_steps=max_steps)
     return proc
 
 
@@ -206,7 +227,9 @@ def run_spec_protected(
     pipeline = spec_pipeline(name, scale)
     kernel = Kernel()
     monitor, proc = pipeline.deploy(kernel, policy=policy)
-    kernel.run(proc, max_steps=40_000_000)
+    tel = telemetry.get_telemetry()
+    with tel.tracer.span("spec.run", program=name, protected=True):
+        kernel.run(proc, max_steps=40_000_000)
     return proc, monitor
 
 

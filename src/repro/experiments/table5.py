@@ -10,10 +10,10 @@ verified — the motivation for caching per-library CFGs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.telemetry import get_telemetry
 from repro.analysis.build import build_ocfg
 from repro.binary.loader import Loader
 from repro.experiments.common import (
@@ -43,15 +43,18 @@ class Table5Result:
 
 
 def run(servers: Sequence[str] = SERVER_NAMES) -> Table5Result:
+    tracer = get_telemetry().tracer
     rows: List[Table5Row] = []
     for name in servers:
-        start = time.perf_counter()
-        image = Loader(libraries(), vdso=build_vdso()).load(
-            SERVER_BUILDERS[name]()
-        )
-        ocfg = build_ocfg(image)
-        itc = build_itccfg(ocfg)
-        elapsed = time.perf_counter() - start
+        # Wall-clock flows through the telemetry span — the same code
+        # path that feeds trace exports when telemetry is enabled.
+        with tracer.span("table5.offline_build", app=name) as span:
+            image = Loader(libraries(), vdso=build_vdso()).load(
+                SERVER_BUILDERS[name]()
+            )
+            ocfg = build_ocfg(image)
+            itc = build_itccfg(ocfg)
+        elapsed = span.duration_s
 
         pipeline = server_pipeline(name)  # trained labels for memory
         index = FlowSearchIndex(pipeline.labeled)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.telemetry import get_telemetry
 from repro.binary.module import Module
 from repro.ipt.encoder import IPTEncoder
 from repro.ipt.fast_decoder import fast_decode
@@ -56,43 +57,55 @@ def train_credits(
     ignored rather than flagged — the conservative ITC-CFG should make
     them impossible, but a crashed run can truncate mid-trace.
     """
+    tel = get_telemetry()
     report = TrainingReport()
-    for data in corpus:
-        kernel = Kernel()
-        kernel.register_program(program, exe, libraries, vdso=vdso)
-        if kernel_setup is not None:
-            kernel_setup(kernel)
-        proc = kernel.spawn(program)
-        # A corpus entry may be a single payload or a sequence of
-        # payloads served by one process — multi-connection sessions
-        # train the inter-request flow (accept-loop wrap-around) that
-        # single-shot runs never exercise.
-        payloads = (
-            list(data) if isinstance(data, (list, tuple)) else [data]
-        )
-        if mode == "socket":
-            for payload in payloads:
-                proc.push_connection(payload)
-        else:
-            for payload in payloads:
-                proc.feed_stdin(payload)
-        config = IPTConfig.flowguard_defaults(proc.cr3)
-        encoder = IPTEncoder(
-            config,
-            output=ToPA([ToPARegion(1 << 22)]),
-            current_cr3=lambda p=proc: p.cr3,
-        )
-        proc.executor.add_listener(encoder.on_branch)
-        kernel.run(proc, max_steps=max_steps)
-        encoder.flush()
-        records = fast_decode(
-            encoder.output.snapshot(), sync=encoder.output.wrapped
-        ).tip_records()
-        report.edges_observed += labeled.observe_trace(
-            ((r.ip, r.tnt_before) for r in records), strict=False
-        )
-        if path_index is not None:
-            path_index.observe_sequence([r.ip for r in records])
-        report.inputs_replayed += 1
-        report.ratio_history.append(labeled.trained_ratio())
+    for index, data in enumerate(corpus):
+        with tel.tracer.span(
+            "training.replay", program=program, input=index,
+        ):
+            kernel = Kernel()
+            kernel.register_program(program, exe, libraries, vdso=vdso)
+            if kernel_setup is not None:
+                kernel_setup(kernel)
+            proc = kernel.spawn(program)
+            # A corpus entry may be a single payload or a sequence of
+            # payloads served by one process — multi-connection sessions
+            # train the inter-request flow (accept-loop wrap-around)
+            # that single-shot runs never exercise.
+            payloads = (
+                list(data) if isinstance(data, (list, tuple)) else [data]
+            )
+            if mode == "socket":
+                for payload in payloads:
+                    proc.push_connection(payload)
+            else:
+                for payload in payloads:
+                    proc.feed_stdin(payload)
+            config = IPTConfig.flowguard_defaults(proc.cr3)
+            encoder = IPTEncoder(
+                config,
+                output=ToPA([ToPARegion(1 << 22)]),
+                current_cr3=lambda p=proc: p.cr3,
+            )
+            proc.executor.add_listener(encoder.on_branch)
+            kernel.run(proc, max_steps=max_steps)
+            encoder.flush()
+            records = fast_decode(
+                encoder.output.snapshot(), sync=encoder.output.wrapped
+            ).tip_records()
+            edges = labeled.observe_trace(
+                ((r.ip, r.tnt_before) for r in records), strict=False
+            )
+            report.edges_observed += edges
+            if path_index is not None:
+                path_index.observe_sequence([r.ip for r in records])
+            report.inputs_replayed += 1
+            report.ratio_history.append(labeled.trained_ratio())
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("training.inputs").inc(program=program)
+            m.counter("training.edges_observed").inc(edges, program=program)
+            m.gauge("training.trained_ratio").set(
+                labeled.trained_ratio(), program=program
+            )
     return report

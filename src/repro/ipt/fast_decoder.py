@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro import costs
+from repro.telemetry import get_telemetry
 from repro.ipt.packets import (
     DecodedPacket,
     OVF_BYTE,
@@ -177,6 +178,12 @@ def fast_decode(
     cycles = (
         (pos - synced) * costs.FAST_DECODE_CYCLES_PER_BYTE if charge else 0.0
     )
+    tel = get_telemetry()
+    if tel.enabled:
+        m = tel.metrics
+        m.counter("ipt.fast_decode.calls").inc()
+        m.counter("ipt.fast_decode.bytes").inc(pos - synced)
+        m.counter("ipt.fast_decode.packets").inc(len(packets))
     return FastDecodeResult(
         packets, cycles, synced_offset=synced, truncated=truncated
     )

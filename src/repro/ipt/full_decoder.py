@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import costs
+from repro.telemetry import get_telemetry
 from repro.cpu.events import CoFIKind
 from repro.cpu.memory import Memory, MemoryError_
 from repro.isa.encoding import DecodeError, decode_at, instruction_length
@@ -262,6 +263,12 @@ class FullDecoder:
     def _finish(
         self, edges: List[FlowEdge], insn_count: int, ip: int, exhausted: bool
     ) -> FullDecodeResult:
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("ipt.full_decode.calls").inc()
+            m.counter("ipt.full_decode.insns").inc(insn_count)
+            m.counter("ipt.full_decode.edges").inc(len(edges))
         return FullDecodeResult(
             edges=edges,
             insn_count=insn_count,

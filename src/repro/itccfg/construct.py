@@ -6,6 +6,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
+from repro.telemetry import get_telemetry
 from repro.analysis.cfg import ControlFlowGraph
 
 
@@ -62,25 +63,30 @@ def build_itccfg(ocfg: ControlFlowGraph) -> ITCCFG:
     from x to that indirect target.  Traversal never crosses an
     indirect edge — packets re-anchor the search at every TIP.
     """
+    tel = get_telemetry()
     itc = ITCCFG()
-    it_bbs = ocfg.indirect_target_blocks()
-    itc.nodes = set(it_bbs)
+    with tel.tracer.span("itccfg.construct"):
+        it_bbs = ocfg.indirect_target_blocks()
+        itc.nodes = set(it_bbs)
 
-    for origin in it_bbs:
-        seen: Set[int] = {origin}
-        queue = deque([origin])
-        emitted: Set[tuple] = set()
-        while queue:
-            block_start = queue.popleft()
-            for edge in ocfg.successors(block_start):
-                if edge.is_indirect:
-                    key = (edge.dst, edge.branch_addr)
-                    if key not in emitted:
-                        emitted.add(key)
-                        itc.add_edge(
-                            ITCEdge(origin, edge.dst, edge.branch_addr)
-                        )
-                elif edge.dst not in seen:
-                    seen.add(edge.dst)
-                    queue.append(edge.dst)
+        for origin in it_bbs:
+            seen: Set[int] = {origin}
+            queue = deque([origin])
+            emitted: Set[tuple] = set()
+            while queue:
+                block_start = queue.popleft()
+                for edge in ocfg.successors(block_start):
+                    if edge.is_indirect:
+                        key = (edge.dst, edge.branch_addr)
+                        if key not in emitted:
+                            emitted.add(key)
+                            itc.add_edge(
+                                ITCEdge(origin, edge.dst, edge.branch_addr)
+                            )
+                    elif edge.dst not in seen:
+                        seen.add(edge.dst)
+                        queue.append(edge.dst)
+    if tel.enabled:
+        tel.metrics.counter("itccfg.builds").inc()
+        tel.metrics.counter("itccfg.edges_built").inc(itc.edge_count)
     return itc

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.binary.loader import Image
+from repro.telemetry import get_telemetry
 from repro.ipt.fast_decoder import TipRecord, fast_decode, sync_to_psb
 from repro.ipt.packets import DecodedPacket, PSB_PATTERN, PacketKind
 from repro.itccfg.credits import CreditLevel
@@ -152,7 +153,33 @@ class FastPathChecker:
     # -- checking -----------------------------------------------------------------
 
     def check(self, data: bytes) -> FastPathResult:
-        """Run the fast path over a ToPA snapshot."""
+        """Run the fast path over a ToPA snapshot.
+
+        The check loop itself lives in :meth:`_check`; this wrapper only
+        reports the outcome to telemetry, behind a single enabled-flag
+        test so a disabled run pays one attribute check per call (the
+        near-zero-overhead contract, measured by
+        ``benchmarks/test_telemetry_overhead.py``).
+        """
+        result = self._check(data)
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("fastpath.checks").inc(verdict=result.verdict.value)
+            m.counter("fastpath.pairs_checked").inc(result.checked_pairs)
+            m.counter("fastpath.low_credit_pairs").inc(
+                len(result.low_credit_pairs)
+            )
+            m.histogram("fastpath.window_tips").observe(len(result.window))
+            m.histogram("fastpath.decode_cycles").observe(
+                result.decode_cycles
+            )
+            m.histogram("fastpath.search_cycles").observe(
+                result.search_cycles
+            )
+        return result
+
+    def _check(self, data: bytes) -> FastPathResult:
         records, packets, decode_cycles, start = self.decode_tail(data)
         if len(records) < 2:
             return FastPathResult(

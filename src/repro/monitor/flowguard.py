@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import costs
+from repro.telemetry import get_telemetry
 from repro.analysis.cfg import ControlFlowGraph
 from repro.ipt.encoder import IPTEncoder
 from repro.ipt.msr import IPTConfig
@@ -106,6 +107,7 @@ class FlowGuardMonitor:
     ) -> None:
         self.kernel = kernel
         self.policy = policy if policy is not None else FlowGuardPolicy()
+        self._telemetry = get_telemetry()
         self.detections: List[Detection] = []
         self._protected: Dict[int, ProtectedProcess] = {}  # by CR3
         self._originals: Dict[int, object] = {}
@@ -241,6 +243,7 @@ class FlowGuardMonitor:
     # -- checking -----------------------------------------------------------------
 
     def _run_check(self, pp: ProtectedProcess, nr: int) -> Verdict:
+        tel = self._telemetry
         stats = pp.stats
         stats.checks += 1
         stats.other_cycles += costs.MONITOR_INTERCEPT_CYCLES
@@ -251,6 +254,22 @@ class FlowGuardMonitor:
         stats.check_cycles += result.search_cycles
         stats.edges_checked += result.checked_pairs
         stats.low_credit_edges += len(result.low_credit_pairs)
+        if tel.enabled:
+            prof = tel.profiler
+            prof.record("monitor.intercept", "intercept",
+                        costs.MONITOR_INTERCEPT_CYCLES)
+            prof.record("monitor.fastpath", "decode", result.decode_cycles)
+            prof.record("monitor.fastpath", "search", result.search_cycles)
+            m = tel.metrics
+            m.counter("monitor.checks").inc(
+                path="slow" if result.verdict is Verdict.SUSPICIOUS
+                else "fast"
+            )
+            m.counter("monitor.verdicts").inc(verdict=result.verdict.value)
+            m.counter("monitor.edges_checked").inc(result.checked_pairs)
+            m.counter("monitor.low_credit_edges").inc(
+                len(result.low_credit_pairs)
+            )
 
         if result.verdict is Verdict.VIOLATION:
             self.detections.append(
@@ -266,6 +285,8 @@ class FlowGuardMonitor:
                     edge=result.violation_edge,
                 )
             )
+            if tel.enabled:
+                tel.metrics.counter("monitor.detections").inc(path="fast")
             return Verdict.VIOLATION
 
         if result.verdict in (Verdict.PASS, Verdict.INSUFFICIENT):
@@ -277,16 +298,30 @@ class FlowGuardMonitor:
         slow_result = pp.slow.check(
             result.slow_path_packets(), window=result.window
         )
-        stats.decode_cycles += (
+        slow_decode = (
             slow_result.insns_decoded * costs.FULL_DECODE_CYCLES_PER_INSN
         )
-        stats.check_cycles += max(
+        slow_check = max(
             0.0,
-            slow_result.cycles
-            - costs.SLOWPATH_UPCALL_CYCLES
-            - slow_result.insns_decoded * costs.FULL_DECODE_CYCLES_PER_INSN,
+            slow_result.cycles - costs.SLOWPATH_UPCALL_CYCLES - slow_decode,
         )
+        stats.decode_cycles += slow_decode
+        stats.check_cycles += slow_check
         stats.other_cycles += costs.SLOWPATH_UPCALL_CYCLES
+        if tel.enabled:
+            # Mirror the exact same charges, split into the finer phases
+            # (shadow-stack share clamped into the check slice so the
+            # profiler reconciles exactly with MonitorStats).
+            shadow = min(slow_result.shadow_cycles, slow_check)
+            prof = tel.profiler
+            prof.record("monitor.slowpath", "decode", slow_decode)
+            prof.record("monitor.slowpath", "shadow-stack", shadow)
+            prof.record("monitor.slowpath", "search", slow_check - shadow)
+            prof.record("monitor.slowpath", "upcall",
+                        costs.SLOWPATH_UPCALL_CYCLES)
+            tel.metrics.counter("monitor.slow_path_insns").inc(
+                slow_result.insns_decoded
+            )
         if not slow_result.ok:
             self.detections.append(
                 Detection(
@@ -296,15 +331,23 @@ class FlowGuardMonitor:
                     reason=slow_result.reason or "slow-path violation",
                 )
             )
+            if tel.enabled:
+                tel.metrics.counter("monitor.detections").inc(path="slow")
             return Verdict.VIOLATION
         if self.policy.cache_slow_path_negatives:
             for src, dst, tnt in slow_result.confirmed_pairs:
                 pp.labeled.promote(src, dst, tnt)
                 pp.index.promote(src, dst, tnt)
+            if tel.enabled:
+                tel.metrics.counter("monitor.promotions").inc(
+                    len(slow_result.confirmed_pairs)
+                )
         return Verdict.PASS
 
     def _on_pmi(self, pp: ProtectedProcess) -> None:
         pp.stats.pmi_count += 1
+        if self._telemetry.enabled:
+            self._telemetry.metrics.counter("monitor.pmi").inc()
         if self.policy.check_on_pmi:
             verdict = self._run_check(pp, -1)
             if verdict is Verdict.VIOLATION:
@@ -318,7 +361,20 @@ class FlowGuardMonitor:
             raise KeyError(f"process {process.pid} is not protected")
         stats = pp.stats
         stats.trace_cycles = pp.encoder.cycles
+        if self._telemetry.enabled:
+            # Tracing cost is cumulative on the encoder, so overwrite
+            # the per-process cell rather than accumulate.
+            self._telemetry.profiler.set(
+                f"ipt.encoder.pid{pp.process.pid}", "trace",
+                stats.trace_cycles,
+            )
         return stats
+
+    def all_stats(self) -> List[MonitorStats]:
+        """Refreshed stats for every protected process."""
+        return [
+            self.stats_for(pp.process) for pp in self._protected.values()
+        ]
 
     def report(self) -> dict:
         """A JSON-compatible operational report across all protected

@@ -35,6 +35,8 @@ class SlowPathResult:
     violation_addr: Optional[int] = None
     cycles: float = 0.0
     insns_decoded: int = 0
+    #: shadow-stack share of ``cycles`` (telemetry phase attribution).
+    shadow_cycles: float = 0.0
     #: (src_ip, dst_ip, tnt) ITC pairs confirmed clean — promotion list.
     confirmed_pairs: List[Tuple[int, int, Tuple[bool, ...]]] = field(
         default_factory=list
@@ -82,6 +84,7 @@ class SlowPathEngine:
                         violation_addr=edge.src,
                         cycles=cycles + shadow.cycles,
                         insns_decoded=decoded.insn_count,
+                        shadow_cycles=shadow.cycles,
                     )
             # Backward edges: shadow stack; returns that outrun the
             # window's reconstructed stack fall back to the conservative
@@ -99,6 +102,7 @@ class SlowPathEngine:
                         violation_addr=edge.src,
                         cycles=cycles + shadow.cycles,
                         insns_decoded=decoded.insn_count,
+                        shadow_cycles=shadow.cycles,
                     )
             try:
                 shadow.feed(edge)
@@ -109,6 +113,7 @@ class SlowPathEngine:
                     violation_addr=exc.ret_addr,
                     cycles=cycles + shadow.cycles,
                     insns_decoded=decoded.insn_count,
+                    shadow_cycles=shadow.cycles,
                 )
 
         confirmed: List[Tuple[int, int, Tuple[bool, ...]]] = []
@@ -119,5 +124,6 @@ class SlowPathEngine:
             ok=True,
             cycles=cycles + shadow.cycles,
             insns_decoded=decoded.insn_count,
+            shadow_cycles=shadow.cycles,
             confirmed_pairs=confirmed,
         )

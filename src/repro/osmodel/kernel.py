@@ -18,6 +18,7 @@ import struct
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import costs
+from repro.telemetry import get_telemetry
 from repro.binary.loader import Image, Loader
 from repro.binary.module import Module
 from repro.cpu.executor import CPUFault, Executor, HaltReason
@@ -137,6 +138,9 @@ class Kernel:
         proc = self._make_process(pid, program, image)
         proc.feed_stdin(stdin)
         self.processes[pid] = proc
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("kernel.spawns").inc(program=program)
         for hook in self.spawn_hooks:
             hook(proc)
         return proc
@@ -197,6 +201,13 @@ class Kernel:
 
     def _dispatch_syscall(self, proc: Process) -> None:
         nr = proc.machine.reg(R0)
+        tel = get_telemetry()
+        if tel.enabled:
+            try:
+                name = Sys(nr).name.lower()
+            except ValueError:
+                name = f"nr{nr}"
+            tel.metrics.counter("kernel.syscalls").inc(name=name)
         handler = self.syscall_table.get(nr)
         if handler is None:
             proc.machine.set_reg(R0, EINVAL)
@@ -470,6 +481,9 @@ class Kernel:
 
     def deliver_signal(self, proc: Process, sig: int) -> None:
         """Deliver a signal: run the handler or terminate."""
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("kernel.signals").inc(sig=sig)
         handler = proc.signal_handlers.get(sig)
         if sig == SIGKILL or handler is None:
             self.kill_process(proc, sig)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.telemetry import get_telemetry
 from repro.analysis.build import build_ocfg
 from repro.analysis.cfg import ControlFlowGraph
 from repro.binary.loader import Loader
@@ -73,35 +74,54 @@ class FlowGuardPipeline:
         Module bases are deterministic (no ASLR, §3.3), so the CFG built
         from a reference load is valid for every process instance.
         """
+        tel = get_telemetry()
         libraries = dict(libraries or {})
-        image = Loader(libraries, vdso=vdso).load(exe)
-        ocfg = build_ocfg(image)
-        itc = build_itccfg(ocfg)
-        labeled = CreditLabeledITC(itc=itc)
-        pipeline = cls(
-            program=program,
-            exe=exe,
-            libraries=libraries,
-            vdso=vdso,
-            ocfg=ocfg,
-            itc=itc,
-            labeled=labeled,
-            mode=mode,
-        )
-        corpus = list(corpus)
-        if corpus:
-            pipeline.path_index = PathIndex()
-            pipeline.training = train_credits(
-                labeled,
-                program,
-                exe,
-                corpus,
+        with tel.tracer.span("offline.pipeline", program=program):
+            with tel.tracer.span("offline.load", program=program):
+                image = Loader(libraries, vdso=vdso).load(exe)
+            with tel.tracer.span("offline.ocfg", program=program):
+                ocfg = build_ocfg(image)
+            with tel.tracer.span("offline.itccfg", program=program):
+                itc = build_itccfg(ocfg)
+            labeled = CreditLabeledITC(itc=itc)
+            pipeline = cls(
+                program=program,
+                exe=exe,
                 libraries=libraries,
                 vdso=vdso,
+                ocfg=ocfg,
+                itc=itc,
+                labeled=labeled,
                 mode=mode,
-                max_steps=train_max_steps,
-                kernel_setup=kernel_setup,
-                path_index=pipeline.path_index,
+            )
+            corpus = list(corpus)
+            if corpus:
+                pipeline.path_index = PathIndex()
+                with tel.tracer.span(
+                    "offline.training", program=program,
+                    inputs=len(corpus),
+                ):
+                    pipeline.training = train_credits(
+                        labeled,
+                        program,
+                        exe,
+                        corpus,
+                        libraries=libraries,
+                        vdso=vdso,
+                        mode=mode,
+                        max_steps=train_max_steps,
+                        kernel_setup=kernel_setup,
+                        path_index=pipeline.path_index,
+                    )
+        if tel.enabled:
+            g = tel.metrics.gauge
+            cfg_stats = ocfg.stats()
+            g("offline.ocfg.blocks").set(cfg_stats["blocks"], program=program)
+            g("offline.ocfg.edges").set(cfg_stats["edges"], program=program)
+            g("offline.itccfg.nodes").set(len(itc.nodes), program=program)
+            g("offline.itccfg.edges").set(itc.edge_count, program=program)
+            g("offline.trained_ratio").set(
+                labeled.trained_ratio(), program=program
             )
         return pipeline
 

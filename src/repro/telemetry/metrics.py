@@ -1,0 +1,190 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+Every instrument supports labels, so one metric fans out into series —
+``monitor.checks{path="fast"}`` and ``monitor.checks{path="slow"}`` are
+two series of the same counter.  The registry is the single sink the
+whole pipeline reports into; :meth:`MetricsRegistry.snapshot` renders it
+as a plain JSON-compatible dict for the ``repro stats`` CLI, experiment
+result files and the benchmark exports.
+
+Instruments are no-ops while the registry is disabled, and hot paths
+additionally guard the *call* behind ``telemetry.enabled`` so a disabled
+run never even builds the label dict (the near-zero-overhead
+requirement; see ``benchmarks/test_telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def series_name(name: str, labels: LabelKey) -> str:
+    """Render ``name{k="v",...}`` — the stable series naming scheme."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (events, bytes, cycles)."""
+
+    __slots__ = ("name", "help", "_registry", "_series")
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry"
+                 ) -> None:
+        self.name = name
+        self.help = help
+        self._registry = registry
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labeled series."""
+        return sum(self._series.values())
+
+    def reset(self) -> None:
+        self._series.clear()
+
+
+class Gauge:
+    """Last-written value (sizes, ratios, configuration)."""
+
+    __slots__ = ("name", "help", "_registry", "_series")
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry"
+                 ) -> None:
+        self.name = name
+        self.help = help
+        self._registry = registry
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def reset(self) -> None:
+        self._series.clear()
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max per series."""
+
+    __slots__ = ("name", "help", "_registry", "_series")
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry"
+                 ) -> None:
+        self.name = name
+        self.help = help
+        self._registry = registry
+        self._series: Dict[LabelKey, Dict[str, float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        cell = self._series.get(key)
+        if cell is None:
+            self._series[key] = {
+                "count": 1, "sum": value, "min": value, "max": value,
+            }
+            return
+        cell["count"] += 1
+        cell["sum"] += value
+        if value < cell["min"]:
+            cell["min"] = value
+        if value > cell["max"]:
+            cell["max"] = value
+
+    def summary(self, **labels: object) -> Optional[Dict[str, float]]:
+        cell = self._series.get(_label_key(labels))
+        if cell is None:
+            return None
+        out = dict(cell)
+        out["mean"] = out["sum"] / out["count"] if out["count"] else 0.0
+        return out
+
+    def reset(self) -> None:
+        self._series.clear()
+
+
+class MetricsRegistry:
+    """Owns every instrument; one per :class:`repro.telemetry.Telemetry`."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument factories (memoized by name) ----------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name, help, self)
+        return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name, help, self)
+        return inst
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, help, self)
+        return inst
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every series, keeping the registered instruments."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for inst in group.values():
+                inst.reset()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-compatible dump of every non-empty series."""
+        counters = {
+            series_name(c.name, key): value
+            for c in self._counters.values()
+            for key, value in sorted(c._series.items())
+        }
+        gauges = {
+            series_name(g.name, key): value
+            for g in self._gauges.values()
+            for key, value in sorted(g._series.items())
+        }
+        histograms = {}
+        for h in self._histograms.values():
+            for key, cell in sorted(h._series.items()):
+                cell = dict(cell)
+                cell["mean"] = (
+                    cell["sum"] / cell["count"] if cell["count"] else 0.0
+                )
+                histograms[series_name(h.name, key)] = cell
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

@@ -1,0 +1,136 @@
+"""Cycle-attribution profiler: simulated cycles by phase and component.
+
+The cost model (:mod:`repro.costs`) charges deterministic cycles; the
+monitor aggregates them into :class:`repro.monitor.flowguard.MonitorStats`.
+This profiler records the *same* charges a second time, attributed along
+two axes — the Figure 5 **phase** (trace / decode / search /
+shadow-stack / upcall / intercept) and the **component** that spent them
+(``monitor.fastpath``, ``monitor.slowpath``, ``ipt.encoder.pid<n>``,
+...) — so any slice of the pipeline can cite exactly where its cycles
+went.
+
+Because the monitor feeds both sinks from the same locals, the profiler
+reconciles with ``MonitorStats`` exactly (up to float addition order;
+:meth:`CycleProfiler.reconcile` checks with a 1e-9 relative tolerance):
+
+- ``decode``                == sum of ``stats.decode_cycles``
+- ``search + shadow-stack`` == sum of ``stats.check_cycles``
+- ``upcall + intercept``    == sum of ``stats.other_cycles``
+- ``trace``                 == sum of ``stats.trace_cycles``
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Tuple
+
+#: The canonical phase names, in Figure 5 presentation order.
+PHASES = ("trace", "decode", "search", "shadow-stack", "upcall", "intercept")
+
+#: Which phases fold into which MonitorStats accumulator.
+_STATS_PHASE_MAP = {
+    "trace_cycles": ("trace",),
+    "decode_cycles": ("decode",),
+    "check_cycles": ("search", "shadow-stack"),
+    "other_cycles": ("upcall", "intercept"),
+}
+
+
+class CycleProfiler:
+    """Accumulates simulated cycles in (component, phase) cells."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[str, str], float] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, component: str, phase: str, cycles: float) -> None:
+        """Add ``cycles`` to one (component, phase) cell."""
+        key = (component, phase)
+        self._cells[key] = self._cells.get(key, 0.0) + cycles
+
+    def set(self, component: str, phase: str, cycles: float) -> None:
+        """Overwrite a cell — for cumulative sources (encoder totals)."""
+        self._cells[(component, phase)] = cycles
+
+    # -- views ---------------------------------------------------------------
+
+    def per_phase(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for (_, phase), cycles in self._cells.items():
+            out[phase] = out.get(phase, 0.0) + cycles
+        return out
+
+    def per_component(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for (component, _), cycles in self._cells.items():
+            out[component] = out.get(component, 0.0) + cycles
+        return out
+
+    def component_phase(self, component: str, phase: str) -> float:
+        return self._cells.get((component, phase), 0.0)
+
+    def total(self) -> float:
+        return sum(self._cells.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "total_cycles": self.total(),
+            "phases": {
+                phase: cycles
+                for phase, cycles in sorted(self.per_phase().items())
+            },
+            "components": {
+                component: cycles
+                for component, cycles in sorted(self.per_component().items())
+            },
+            "cells": {
+                f"{component}/{phase}": cycles
+                for (component, phase), cycles in sorted(self._cells.items())
+            },
+        }
+
+    # -- reconciliation ------------------------------------------------------
+
+    def reconcile(self, stats_list: Iterable[object]) -> Dict[str, object]:
+        """Compare phase totals against summed ``MonitorStats``.
+
+        ``stats_list`` is any iterable of objects with the four
+        ``*_cycles`` accumulators (duck-typed to avoid importing the
+        monitor).  Returns per-accumulator profiler/stats pairs plus an
+        overall ``exact`` verdict.
+        """
+        stats_list = list(stats_list)
+        phases = self.per_phase()
+        report: Dict[str, object] = {}
+        exact = True
+        for attr, phase_names in _STATS_PHASE_MAP.items():
+            expected = sum(getattr(s, attr) for s in stats_list)
+            measured = sum(phases.get(p, 0.0) for p in phase_names)
+            ok = math.isclose(
+                measured, expected, rel_tol=1e-9, abs_tol=1e-6
+            )
+            exact = exact and ok
+            report[attr] = {
+                "profiler": measured,
+                "stats": expected,
+                "ok": ok,
+            }
+        total_stats = sum(
+            sum(getattr(s, attr) for attr in _STATS_PHASE_MAP)
+            for s in stats_list
+        )
+        report["total"] = {
+            "profiler": self.total(),
+            "stats": total_stats,
+            "ok": math.isclose(
+                self.total(), total_stats, rel_tol=1e-9, abs_tol=1e-6
+            ),
+        }
+        report["exact"] = exact and bool(report["total"]["ok"])
+        return report
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        self._cells.clear()

@@ -64,3 +64,21 @@ class TestCommands:
         assert main(["experiments", "table5"]) == 0
         out = capsys.readouterr().out
         assert "Table 5" in out
+
+    def test_stats(self, capsys):
+        import json
+
+        assert main(["stats", "exim", "-n", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["server"] == "exim"
+        assert payload["reconciliation"]["exact"] is True
+
+    def test_serve_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "serve_trace.json"
+        code = main(
+            ["serve", "exim", "-n", "2", "--trace-out", str(trace)]
+        )
+        assert code == 0
+        assert json.loads(trace.read_text())["traceEvents"]
