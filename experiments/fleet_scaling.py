@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Run the fleet scaling sweeps and write ``BENCH_fleet.json``.
+
+Usage::
+
+    PYTHONPATH=src python experiments/fleet_scaling.py [--quick] \
+        [--out BENCH_fleet.json]
+
+``--quick`` shrinks the sweeps for CI smoke runs; the JSON shape is
+identical.  Exits non-zero if any sweep's cycle accounting fails to
+reconcile, if the 8-process worker sweep's p99 check lag is not
+monotonically decreasing from 1 to 4 workers, or if stall-mode overhead
+does not exceed lossy-mode overhead under ring pressure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import fleet_scaling  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_fleet.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = fleet_scaling.run(quick=args.quick)
+    print(fleet_scaling.format_table(results))
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\n[wrote {out}]")
+
+    failures = []
+    for section in ("worker_sweep", "process_sweep", "policy_pressure"):
+        for row in results[section]:
+            if not row["accounting_exact"]:
+                failures.append(
+                    f"{section}: cycle ledger drift at "
+                    f"{row['processes']}p/{row['workers']}w"
+                )
+    sweep = results["worker_sweep"]
+    p99s = [row["lag_p99"] for row in sweep]
+    if any(b >= a for a, b in zip(p99s, p99s[1:])):
+        failures.append(f"p99 lag not monotone over workers: {p99s}")
+    stall, lossy = results["policy_pressure"]
+    if stall["overhead"] <= lossy["overhead"]:
+        failures.append(
+            "stall overhead did not exceed lossy under ring pressure: "
+            f"{stall['overhead']:.4f} <= {lossy['overhead']:.4f}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

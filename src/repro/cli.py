@@ -4,7 +4,7 @@ Commands:
 
 - ``experiments [names...]`` — regenerate paper tables/figures
   (default: all).  Names: table1, sec2, table4, table5, fig5a, fig5b,
-  fig5c, fig5d, micro, hwext, security, ablations.
+  fig5c, fig5d, micro, hwext, security, ablations, fleet.
 - ``attack [rop|srop|retlib|flushing]`` — run one attack unprotected
   and under FlowGuard.
 - ``serve <server> [-n N] [--unprotected]`` — drive a protected server
@@ -16,6 +16,11 @@ Commands:
 - ``stats <server> [-n N] [--trace-out F] [--spans-out F]`` — run a
   protected server with telemetry enabled and dump the metrics
   snapshot (JSON), reconciled against the monitor's cycle accounting.
+- ``fleet [--processes N] [--workers M] [--policy stall|lossy]`` —
+  time-slice N protected server processes against M checker workers,
+  optionally injecting a ROP attack into one of them
+  (``--inject-rop``); exits non-zero if the cycle ledger drifts or an
+  injected attack goes unquarantined.
 
 ``experiments`` and ``serve`` also accept ``--trace-out FILE`` to
 capture the run as a Chrome ``chrome://tracing`` trace-event file.
@@ -27,6 +32,8 @@ import argparse
 import json
 import sys
 from typing import Callable, Dict, List, Optional
+
+from repro import __version__
 
 
 def _export_trace(tracer, args: argparse.Namespace) -> None:
@@ -49,6 +56,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         fig5b,
         fig5c,
         fig5d,
+        fleet_scaling,
         hwext_breakdown,
         micro,
         sec2_decode,
@@ -72,6 +80,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             hwext_breakdown.run()),
         "security": lambda: security.format_table(security.run()),
         "ablations": ablations.format_all,
+        "fleet": lambda: fleet_scaling.format_table(
+            fleet_scaling.run(quick=True)),
     }
     names = args.names or list(registry)
     unknown = [n for n in names if n not in registry]
@@ -219,6 +229,103 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a multi-process fleet under one monitor (see repro.fleet)."""
+    import random
+
+    from repro.experiments.common import (
+        seed_server_fs, server_pipeline, server_requests,
+    )
+    from repro.fleet import FleetConfig, FleetService, RingPolicy
+
+    servers = args.servers or ["nginx", "exim"]
+    config = FleetConfig(
+        workers=args.workers,
+        quantum=args.quantum,
+        ring_bytes=args.ring_bytes,
+        ring_policy=RingPolicy(args.policy),
+        max_queue_depth=args.queue_depth,
+        decode_mode=args.decode_mode,
+        seed=args.seed,
+    )
+    service = FleetService(config)
+    seed_server_fs(service.kernel)
+
+    assignment = [servers[i % len(servers)]
+                  for i in range(args.processes)]
+    random.Random(args.seed).shuffle(assignment)
+    attack_index = None
+    rop = None
+    if args.inject_rop:
+        # The ROP payload targets nginx: make sure one instance exists
+        # and attack it mid-stream, with clean sessions around it.
+        if "nginx" not in assignment:
+            assignment[0] = "nginx"
+        attack_index = assignment.index("nginx")
+        from repro.attacks import build_rop_request, run_recon
+        from repro.experiments.common import libraries
+        from repro.workloads import build_nginx, build_vdso
+
+        recon = run_recon(build_nginx(), libraries(), vdso=build_vdso())
+        rop = build_rop_request(recon)
+
+    procs = []
+    for index, name in enumerate(assignment):
+        requests = list(server_requests(name, args.sessions))
+        if index == attack_index:
+            requests.insert(len(requests) // 2, rop)
+        procs.append(
+            service.add_workload(server_pipeline(name), requests)
+        )
+    attacked_pid = procs[attack_index].pid if attack_index is not None \
+        else None
+
+    result = service.run()
+
+    print(f"fleet: {args.processes} processes x {args.workers} workers, "
+          f"{config.ring_policy.value} rings of {config.ring_bytes} B, "
+          f"quantum {config.quantum:.0f} cycles")
+    for row in result.processes:
+        status = "QUARANTINED" if row["quarantined"] else row["state"]
+        print(f"  pid {row['pid']:>3} {row['name']:<8} {status:<11} "
+              f"{row['checks']:>4} checks  {row['pmi_count']:>3} PMIs  "
+              f"{row['stalls']:>3} stalls  "
+              f"{row['app_cycles']:>10.0f} app cycles")
+    for event in result.quarantines:
+        lag = event.detected_at - event.enqueued_at
+        print(f"  quarantine: pid {event.pid} ({event.name}) after "
+              f"{lag:.0f} cycles"
+              f"{' [posthumous]' if event.posthumous else ''} — "
+              f"{event.reason}")
+    print(f"  checks: {result.tasks} dispatched, "
+          f"{result.dropped_checks} dropped; lag p50 "
+          f"{result.lag['p50']:.0f} / p99 {result.lag['p99']:.0f} cycles")
+    print(f"  workers: utilization "
+          f"{', '.join(f'{u:.1%}' for u in result.worker_utilization)}")
+    print(f"  overhead: {result.overhead:.2%} "
+          f"(monitor {result.monitor_cycles:.0f} + stall "
+          f"{result.stall_cycles:.0f} over app {result.app_cycles:.0f})")
+    if args.json:
+        json.dump(result.to_dict(), sys.stdout, indent=2, default=str)
+        print()
+
+    if not result.accounting["exact"]:
+        print("fleet cycle ledger does NOT reconcile with MonitorStats",
+              file=sys.stderr)
+        return 1
+    if attacked_pid is not None and \
+            attacked_pid not in result.quarantined_pids:
+        print(f"injected attack on pid {attacked_pid} was not "
+              "quarantined", file=sys.stderr)
+        return 1
+    clean = [r for r in result.processes if r["pid"] != attacked_pid]
+    if any(r["quarantined"] for r in clean):
+        print("a clean process was quarantined (false positive)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.experiments.common import (
         libraries, seed_server_fs, training_corpus,
@@ -291,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="FlowGuard reproduction (HPCA 2017) command line",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     experiments = sub.add_parser(
@@ -323,6 +433,36 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("-n", "--sessions", type=int, default=4)
     _add_trace_options(stats)
     stats.set_defaults(func=_cmd_stats)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="time-slice N protected processes over M checker workers",
+    )
+    fleet.add_argument("-p", "--processes", type=int, default=8)
+    fleet.add_argument("-w", "--workers", type=int, default=4)
+    fleet.add_argument("--policy", choices=["stall", "lossy"],
+                       default="stall",
+                       help="ToPA buffer-full degradation policy")
+    fleet.add_argument("--quantum", type=float, default=2000.0,
+                       help="round-robin slice in simulated cycles")
+    fleet.add_argument("--ring-bytes", type=int, default=8192,
+                       help="per-process trace ring capacity")
+    fleet.add_argument("--queue-depth", type=int, default=64,
+                       help="in-flight checks before backpressure")
+    fleet.add_argument("--decode-mode",
+                       choices=["simulated", "threads"],
+                       default="simulated")
+    fleet.add_argument("-n", "--sessions", type=int, default=2,
+                       help="client sessions per process")
+    fleet.add_argument("--servers", nargs="*", default=None,
+                       choices=["nginx", "vsftpd", "openssh", "exim"],
+                       help="server mix (default: nginx exim)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--inject-rop", action="store_true",
+                       help="inject a ROP exploit into one nginx process")
+    fleet.add_argument("--json", action="store_true",
+                       help="also dump the full result as JSON")
+    fleet.set_defaults(func=_cmd_fleet)
 
     fuzz = sub.add_parser("fuzz", help="run the miniature AFL campaign")
     fuzz.add_argument("server",

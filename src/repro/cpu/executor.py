@@ -36,6 +36,7 @@ class CPUFault(Exception):
 class HaltReason(enum.Enum):
     HALTED = "halted"
     STEPS_EXHAUSTED = "steps_exhausted"
+    INTERRUPTED = "interrupted"
 
 
 class Executor:
@@ -51,6 +52,10 @@ class Executor:
         self.listeners: List[Listener] = []
         self.cycles = 0.0
         self.insn_count = 0
+        #: Interrupt line: listeners (a ToPA PMI, a scheduler) assert it
+        #: to stop :meth:`run` at the next instruction boundary.  The
+        #: line auto-deasserts when the run loop observes it.
+        self.stop_requested = False
         self._icache: Dict[int, Tuple[Insn, int]] = {}
 
     # -- instrumentation ---------------------------------------------------
@@ -273,11 +278,19 @@ class Executor:
         raise CPUFault(f"unimplemented opcode {op.name}", ip)
 
     def run(self, max_steps: int = 10_000_000) -> HaltReason:
-        """Run until halt or ``max_steps`` instructions retire."""
+        """Run until halt, interrupt, or ``max_steps`` retirements."""
         m = self.machine
         step = self.step
         for _ in range(max_steps):
             if m.halted:
                 return HaltReason.HALTED
+            if self.stop_requested:
+                self.stop_requested = False
+                return HaltReason.INTERRUPTED
             step()
-        return HaltReason.HALTED if m.halted else HaltReason.STEPS_EXHAUSTED
+        if m.halted:
+            return HaltReason.HALTED
+        if self.stop_requested:
+            self.stop_requested = False
+            return HaltReason.INTERRUPTED
+        return HaltReason.STEPS_EXHAUSTED

@@ -1,0 +1,215 @@
+"""Fleet scaling: check-lag vs workers, fleet size, and ring policy.
+
+Three sweeps over the :mod:`repro.fleet` service, all deterministic:
+
+- **worker sweep** — an 8-process fleet checked by 1..4 workers.  The
+  p99 check lag (the tail of the asynchronous detection window) must
+  fall monotonically as workers are added: PSB-sliced checks spread
+  across the pool, which is the §5.3 parallel-decode claim at fleet
+  scale.
+- **process sweep** — fleet sizes at a fixed pool, showing how lag and
+  worker utilization grow as one monitor serves more processes.
+- **policy pressure** — stall vs lossy rings sized small enough to
+  force PMIs every few quanta.  Stall pays for losslessness in stall
+  cycles (higher overhead); lossy keeps the fleet moving but drops
+  bytes and forces PSB re-syncs.
+
+The aggregate result is written to ``BENCH_fleet.json`` by
+``experiments/fleet_scaling.py`` and asserted by ``tests/test_fleet.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    format_rows,
+    run_server_overhead,
+    seed_server_fs,
+    server_pipeline,
+    server_requests,
+)
+from repro.fleet import FleetConfig, FleetService, RingPolicy
+
+#: the two concurrently-served workloads (ISSUE: "two different server
+#: workloads"); alternated across fleet slots.
+FLEET_SERVERS = ("nginx", "exim")
+
+
+def build_fleet(
+    processes: int,
+    workers: int,
+    sessions: int,
+    policy: RingPolicy = RingPolicy.LOSSY,
+    ring_bytes: int = 8192,
+    max_queue_depth: int = 1_000_000,
+    servers: Sequence[str] = FLEET_SERVERS,
+    seed: int = 0,
+) -> FleetService:
+    """A fleet with the standard alternating server mix.
+
+    Lag sweeps default to lossy rings and an unbounded queue so the
+    submitted work is *identical* across worker counts — stall-mode
+    feedback would change the schedule itself and confound the sweep.
+    """
+    config = FleetConfig(
+        workers=workers,
+        ring_bytes=ring_bytes,
+        ring_policy=policy,
+        max_queue_depth=max_queue_depth,
+        seed=seed,
+    )
+    service = FleetService(config)
+    seed_server_fs(service.kernel)
+    for index in range(processes):
+        name = servers[index % len(servers)]
+        service.add_workload(
+            server_pipeline(name), server_requests(name, sessions)
+        )
+    return service
+
+
+def _fleet_row(result) -> dict:
+    sessions = sum(p["sessions"] for p in result.processes)
+    throughput = (
+        sessions / result.makespan * 1e6 if result.makespan > 0 else 0.0
+    )
+    return {
+        "processes": len(result.processes),
+        "workers": result.config.workers,
+        "policy": result.config.ring_policy.value,
+        "ring_bytes": result.config.ring_bytes,
+        "sessions": sessions,
+        "tasks": result.tasks,
+        "dropped_checks": result.dropped_checks,
+        "makespan": result.makespan,
+        "throughput_per_mcycle": throughput,
+        "lag_p50": result.lag["p50"],
+        "lag_p99": result.lag["p99"],
+        "lag_mean": result.lag["mean"],
+        "overhead": result.overhead,
+        "stall_cycles": result.stall_cycles,
+        "utilization_mean": (
+            sum(result.worker_utilization) / len(result.worker_utilization)
+        ),
+        "accounting_exact": result.accounting["exact"],
+        "schedule_digest": result.schedule_digest,
+    }
+
+
+def run(quick: bool = False) -> Dict[str, object]:
+    sessions = 2 if quick else 3
+    results: Dict[str, object] = {"quick": quick, "sessions": sessions}
+
+    # -- worker sweep: 8 processes, 1..4 workers ---------------------------
+    worker_rows: List[dict] = []
+    for workers in (1, 2, 3, 4):
+        service = build_fleet(8, workers, sessions)
+        worker_rows.append(_fleet_row(service.run()))
+    results["worker_sweep"] = worker_rows
+
+    # -- process sweep: 4 workers, growing fleet ---------------------------
+    process_rows: List[dict] = []
+    for processes in (2, 4, 8) if not quick else (2, 8):
+        service = build_fleet(processes, 4, sessions)
+        process_rows.append(_fleet_row(service.run()))
+    results["process_sweep"] = process_rows
+
+    # -- policy pressure: small rings force PMIs every few quanta ----------
+    pressure_rows: List[dict] = []
+    for policy in (RingPolicy.STALL, RingPolicy.LOSSY):
+        service = build_fleet(
+            4, 2, sessions, policy=policy, ring_bytes=1024,
+            max_queue_depth=64,
+        )
+        result = service.run()
+        row = _fleet_row(result)
+        row["pmis"] = sum(p["pmi_count"] for p in result.processes)
+        row["stalls"] = sum(p["stalls"] for p in result.processes)
+        row["lost_bytes"] = sum(
+            p["overwritten_bytes"] + p["resync_dropped_bytes"]
+            for p in result.processes
+        )
+        row["resyncs"] = sum(p["resyncs"] for p in result.processes)
+        pressure_rows.append(row)
+    results["policy_pressure"] = pressure_rows
+
+    # -- overhead vs solo: same servers, one monitor each ------------------
+    solo: Dict[str, float] = {}
+    for name in FLEET_SERVERS:
+        overhead, _, _ = run_server_overhead(name, sessions=sessions)
+        solo[name] = overhead
+    fleet_service = build_fleet(8, 4, sessions)
+    fleet_result = fleet_service.run()
+    per_server: Dict[str, dict] = {}
+    for row in fleet_result.processes:
+        cell = per_server.setdefault(
+            row["name"], {"monitor": 0.0, "stall": 0.0, "app": 0.0}
+        )
+        cell["monitor"] += row["monitor_cycles"]
+        cell["stall"] += row["stall_cycles"]
+        cell["app"] += row["app_cycles"]
+    results["overhead_vs_solo"] = {
+        name: {
+            "solo": solo[name],
+            "fleet": (cell["monitor"] + cell["stall"]) / cell["app"],
+        }
+        for name, cell in per_server.items()
+    }
+    return results
+
+
+def format_table(results: Dict[str, object]) -> str:
+    sections = []
+    headers = ["procs", "workers", "policy", "lag p50", "lag p99",
+               "overhead", "util", "thru/Mcyc"]
+
+    def rows_of(sweep):
+        return [
+            [
+                row["processes"],
+                row["workers"],
+                row["policy"],
+                row["lag_p50"],
+                row["lag_p99"],
+                row["overhead"],
+                row["utilization_mean"],
+                row["throughput_per_mcycle"],
+            ]
+            for row in sweep
+        ]
+
+    sections.append("Fleet scaling: worker sweep (8 processes)\n"
+                    + format_rows(headers, rows_of(results["worker_sweep"])))
+    sections.append("Fleet scaling: process sweep (4 workers)\n"
+                    + format_rows(headers, rows_of(results["process_sweep"])))
+    pressure = results["policy_pressure"]
+    sections.append(
+        "Ring pressure: stall vs lossy (1 KiB rings)\n"
+        + format_rows(
+            ["policy", "overhead", "stall cyc", "PMIs", "lost B",
+             "resyncs", "dropped"],
+            [
+                [
+                    row["policy"],
+                    row["overhead"],
+                    row["stall_cycles"],
+                    row["pmis"],
+                    row["lost_bytes"],
+                    row["resyncs"],
+                    row["dropped_checks"],
+                ]
+                for row in pressure
+            ],
+        )
+    )
+    solo = results["overhead_vs_solo"]
+    sections.append(
+        "Overhead: fleet (8p/4w) vs solo\n"
+        + format_rows(
+            ["server", "solo", "fleet"],
+            [[name, cell["solo"], cell["fleet"]]
+             for name, cell in sorted(solo.items())],
+        )
+    )
+    return "\n\n".join(sections)

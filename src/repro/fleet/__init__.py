@@ -1,0 +1,54 @@
+"""repro.fleet — multi-process monitoring with parallel checking.
+
+The fleet subsystem scales the single-process FlowGuard monitor to a
+service: N protected processes time-sliced round-robin on one simulated
+CPU, their trace rings drained by M checker workers on idle cores, with
+the paper's §4 buffer-full degradation policies (stall vs lossy) and
+violation quarantine.  See DESIGN.md ("Fleet mode") for the
+architecture.
+"""
+
+from repro.fleet.dispatcher import FleetDispatcher, QuarantineEvent
+from repro.fleet.monitor import FleetMonitor
+from repro.fleet.rings import (
+    DrainResult,
+    ProcessRing,
+    RingPolicy,
+    make_ring_topa,
+)
+from repro.fleet.scheduler import (
+    FleetClock,
+    FleetEntry,
+    RoundRobinScheduler,
+)
+from repro.fleet.service import (
+    FleetConfig,
+    FleetResult,
+    FleetService,
+    percentile,
+)
+from repro.fleet.workers import (
+    CheckTask,
+    SimulatedWorkerPool,
+    ThreadedSliceDecoder,
+)
+
+__all__ = [
+    "CheckTask",
+    "DrainResult",
+    "FleetClock",
+    "FleetConfig",
+    "FleetDispatcher",
+    "FleetEntry",
+    "FleetMonitor",
+    "FleetResult",
+    "FleetService",
+    "ProcessRing",
+    "QuarantineEvent",
+    "RingPolicy",
+    "RoundRobinScheduler",
+    "SimulatedWorkerPool",
+    "ThreadedSliceDecoder",
+    "make_ring_topa",
+    "percentile",
+]

@@ -1,0 +1,250 @@
+"""The fleet dispatcher: routes checks to workers, applies verdicts.
+
+The dispatcher sits between the protected processes and the worker
+pool.  Every flow check — endpoint interception, PMI ring drain, exit
+drain — becomes a :class:`~repro.fleet.workers.CheckTask`:
+
+1. the verdict and its cycle cost are computed through the *same*
+   ``FlowGuardMonitor._run_check`` path solo mode uses (so
+   ``MonitorStats`` and the cycle profiler stay exact),
+2. the cost is split into PSB-aligned decode slices plus a serial
+   search phase and list-scheduled onto the simulated worker pool,
+3. the verdict takes *effect* only when the fleet clock reaches the
+   task's completion time — a violating process keeps running inside
+   the detection window, exactly the asynchrony the paper trades for
+   transparency.
+
+Backpressure: when more checks are in flight than ``max_queue_depth``,
+a stall-policy fleet pauses the submitting process until the queue
+drains; a lossy fleet drops PMI-drain checks (endpoint checks are never
+dropped — they are the enforcement points).
+
+Violation verdicts become quarantine events: the offending process is
+SIGKILLed and isolated from the scheduler while the rest of the fleet
+keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import costs
+from repro.ipt.fast_decoder import psb_boundaries
+from repro.telemetry import get_telemetry
+
+from repro.fleet.rings import ProcessRing, RingPolicy
+from repro.fleet.workers import CheckTask, SimulatedWorkerPool
+
+
+@dataclass
+class QuarantineEvent:
+    """One enforced violation: kill + isolate, fleet keeps running."""
+
+    pid: int
+    name: str
+    task_id: int
+    detected_at: float  # fleet clock when the verdict landed
+    enqueued_at: float
+    reason: str
+    #: the process had already exited when the verdict landed.
+    posthumous: bool = False
+
+
+def _slice_cycles(data: bytes, decode_cycles: float) -> List[float]:
+    """Split a check's decode cost across its PSB-aligned slices.
+
+    Proportional to slice byte length, with the final slice taking the
+    remainder so the slices sum to ``decode_cycles`` *exactly* — the
+    worker-ledger reconciliation depends on it.
+    """
+    if decode_cycles <= 0.0:
+        return []
+    boundaries = psb_boundaries(data)
+    lengths = [
+        end - begin
+        for begin, end in zip(boundaries, boundaries[1:])
+        if end > begin
+    ]
+    total = sum(lengths)
+    if total <= 0 or len(lengths) <= 1:
+        return [decode_cycles]
+    slices = [decode_cycles * length / total for length in lengths[:-1]]
+    slices.append(decode_cycles - sum(slices))
+    return slices
+
+
+class FleetDispatcher:
+    """Check routing, backpressure, and deferred enforcement."""
+
+    def __init__(
+        self,
+        pool: SimulatedWorkerPool,
+        policy: RingPolicy = RingPolicy.STALL,
+        max_queue_depth: int = 64,
+    ) -> None:
+        self.pool = pool
+        self.policy = policy
+        self.max_queue_depth = max_queue_depth
+        self.monitor = None  # bound by the service (FleetMonitor)
+        #: optional ThreadedSliceDecoder: re-decodes each submission on
+        #: a real thread pool (execution backend only; no accounting).
+        self.real_decoder = None
+        self.tasks: List[CheckTask] = []
+        #: tasks whose verdict has not yet taken effect, by finish time.
+        self._pending: List[CheckTask] = []
+        self.quarantines: List[QuarantineEvent] = []
+        self.dropped_checks: int = 0
+        #: endpoint-interception cycles spent on the protected core (not
+        #: on a worker) — the reconciliation remainder.
+        self.intercept_cycles: float = 0.0
+        self._next_task_id = 0
+
+    # -- binding -------------------------------------------------------------
+
+    def bind(self, monitor) -> None:
+        """Attach the fleet monitor whose ``_run_check`` computes
+        verdicts (done after construction: monitor and dispatcher
+        reference each other)."""
+        self.monitor = monitor
+
+    # -- queue state ---------------------------------------------------------
+
+    def queue_depth(self, now: float) -> int:
+        """Checks still in flight at fleet time ``now``."""
+        return sum(1 for task in self._pending if task.finished_at > now)
+
+    def congested(self, now: float) -> bool:
+        return self.queue_depth(now) >= self.max_queue_depth
+
+    def earliest_pending_finish(self) -> Optional[float]:
+        if not self._pending:
+            return None
+        return min(task.finished_at for task in self._pending)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        pp,
+        nr: int,
+        kind: str,
+        now: float,
+        data: Optional[bytes] = None,
+        resynced: bool = False,
+    ) -> CheckTask:
+        """Run one check through the monitor and schedule its cost.
+
+        ``data`` is the ring content the check examines (defaults to a
+        live ToPA snapshot, which is what ``_run_check`` consumes); the
+        verdict is computed eagerly so state matches solo mode, but its
+        effect is deferred to the task's completion time.
+        """
+        assert self.monitor is not None, "dispatcher not bound to a monitor"
+        if data is None:
+            # Flush first: ``_run_check`` will, and the slice boundaries
+            # must be computed over the same bytes it decodes.
+            pp.encoder.flush()
+            data = pp.topa.snapshot()
+        stats = pp.stats
+        before = (
+            stats.decode_cycles,
+            stats.check_cycles,
+            stats.other_cycles,
+        )
+        verdict = self.monitor._run_check(pp, nr)
+        if self.real_decoder is not None and data:
+            self.real_decoder.decode(data, sync=resynced)
+        decode_delta = stats.decode_cycles - before[0]
+        check_delta = stats.check_cycles - before[1]
+        other_delta = stats.other_cycles - before[2]
+        # The fixed interception cost is paid in the syscall path on the
+        # protected core; everything else runs on a checker worker.
+        intercept = min(costs.MONITOR_INTERCEPT_CYCLES, other_delta)
+        self.intercept_cycles += intercept
+        task = CheckTask(
+            task_id=self._next_task_id,
+            pid=pp.process.pid,
+            kind=kind,
+            syscall_nr=nr,
+            enqueued_at=now,
+            slices=_slice_cycles(data, decode_delta),
+            serial_cycles=check_delta + (other_delta - intercept),
+            verdict=verdict.value,
+            resynced=resynced,
+        )
+        self._next_task_id += 1
+        self.pool.dispatch(task)
+        self.tasks.append(task)
+        self._pending.append(task)
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("fleet.checks").inc(kind=kind, verdict=task.verdict)
+            m.histogram("fleet.check_lag").observe(task.lag)
+            m.gauge("fleet.queue_depth").set(self.queue_depth(now))
+        return task
+
+    def drop_drain(self, ring: ProcessRing) -> None:
+        """Lossy backpressure: skip a PMI drain check entirely.
+
+        The ring is still consumed (its bytes are lost unexamined) so
+        tracing continues from a clean buffer."""
+        ring.drain()
+        self.dropped_checks += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("fleet.dropped_checks").inc()
+
+    # -- verdict application -------------------------------------------------
+
+    def due_tasks(self, now: float) -> List[CheckTask]:
+        """Pop every task whose completion time has been reached, in
+        completion order (ties: submission order — both deterministic)."""
+        due = [t for t in self._pending if t.finished_at <= now]
+        if due:
+            self._pending = [t for t in self._pending if t.finished_at > now]
+            due.sort(key=lambda t: (t.finished_at, t.task_id))
+        return due
+
+    def flush_horizon(self) -> float:
+        """Latest completion time among in-flight checks."""
+        if not self._pending:
+            return 0.0
+        return max(task.finished_at for task in self._pending)
+
+    def record_quarantine(
+        self, pp, task: CheckTask, now: float, posthumous: bool
+    ) -> QuarantineEvent:
+        event = QuarantineEvent(
+            pid=pp.process.pid,
+            name=pp.process.name,
+            task_id=task.task_id,
+            detected_at=now,
+            enqueued_at=task.enqueued_at,
+            reason=self._reason_for(pp.process.pid),
+            posthumous=posthumous,
+        )
+        self.quarantines.append(event)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("fleet.quarantines").inc(
+                program=pp.process.name
+            )
+        return event
+
+    def _reason_for(self, pid: int) -> str:
+        assert self.monitor is not None
+        for det in reversed(self.monitor.detections):
+            if det.pid == pid:
+                return det.reason
+        return "CFI violation"
+
+    # -- accounting ----------------------------------------------------------
+
+    def ledger(self) -> dict:
+        """The worker/interception cycle ledger for reconciliation."""
+        return {
+            "busy_cycles": self.pool.busy_total,
+            "intercept_cycles": self.intercept_cycles,
+        }

@@ -1,0 +1,169 @@
+"""The checker worker pool: M simulated idle cores.
+
+FlowGuard's monitors run on cores the protected workload leaves idle
+(§5.3); checking is therefore *asynchronous* — a check enqueued at fleet
+time T completes at some later time, and the gap is the **check lag**
+the fleet telemetry tracks.
+
+The simulated pool is a deterministic list scheduler: each check task
+carries PSB-aligned decode slices (independently decodable, the §5.3
+parallel-decode property) plus a serial phase (ITC search, slow-path
+upcall) that runs after the last slice lands.  Slices go to the
+earliest-available worker (ties broken by worker index), so two runs of
+the same fleet produce byte-identical schedules.
+
+``ThreadedSliceDecoder`` is the optional *real* executor mode: it feeds
+the same PSB slices through ``fast_decode_parallel`` on a
+``concurrent.futures`` thread pool for wall-clock overlap, while the
+simulated pool still does the cycle accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ipt.fast_decoder import fast_decode_parallel
+
+
+@dataclass
+class CheckTask:
+    """One dispatched flow check (endpoint, PMI drain, or exit drain)."""
+
+    task_id: int
+    pid: int
+    kind: str  # "endpoint" | "pmi-drain" | "exit-drain"
+    syscall_nr: int
+    enqueued_at: float
+    #: decode cycles per PSB-aligned slice (parallelizable).
+    slices: List[float] = field(default_factory=list)
+    #: search + slow-path cycles (serial, after the last slice decodes).
+    serial_cycles: float = 0.0
+    verdict: str = "pass"
+    resynced: bool = False
+
+    # filled in by the pool:
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def lag(self) -> float:
+        """Check latency: completion minus enqueue, in fleet cycles."""
+        return self.finished_at - self.enqueued_at
+
+    @property
+    def cost(self) -> float:
+        return sum(self.slices) + self.serial_cycles
+
+
+class SimulatedWorkerPool:
+    """Deterministic M-core list scheduler with a busy-cycle ledger."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one core")
+        self.workers = workers
+        self.free_at = [0.0] * workers
+        self.busy_cycles = [0.0] * workers
+        self.tasks_run = [0] * workers
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _earliest(self, not_before: float) -> int:
+        """Worker index that can start soonest (ties: lowest index)."""
+        best = 0
+        best_start = max(self.free_at[0], not_before)
+        for index in range(1, self.workers):
+            start = max(self.free_at[index], not_before)
+            if start < best_start:
+                best = index
+                best_start = start
+        return best
+
+    def dispatch(self, task: CheckTask) -> float:
+        """Schedule a task's slices then its serial phase; returns the
+        completion time on the fleet clock."""
+        t0 = task.enqueued_at
+        first_start = None
+        slice_end = t0
+        last_worker: Optional[int] = None
+        for cycles in task.slices:
+            w = self._earliest(t0)
+            start = max(self.free_at[w], t0)
+            end = start + cycles
+            self.free_at[w] = end
+            self.busy_cycles[w] += cycles
+            if first_start is None or start < first_start:
+                first_start = start
+            if end > slice_end:
+                slice_end = end
+                last_worker = w
+        # The serial phase (search, upcall) runs on the worker that
+        # finished the final slice — the combine step needs its output.
+        if task.serial_cycles or not task.slices:
+            w = last_worker if last_worker is not None else self._earliest(t0)
+            start = max(self.free_at[w], t0, slice_end)
+            end = start + task.serial_cycles
+            self.free_at[w] = end
+            self.busy_cycles[w] += task.serial_cycles
+            self.tasks_run[w] += 1
+            if first_start is None:
+                first_start = start
+            slice_end = end
+        elif last_worker is not None:
+            self.tasks_run[last_worker] += 1
+        task.started_at = first_start if first_start is not None else t0
+        task.finished_at = slice_end
+        return task.finished_at
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def busy_total(self) -> float:
+        return sum(self.busy_cycles)
+
+    def earliest_free(self) -> float:
+        return min(self.free_at)
+
+    def utilization(self, span: float) -> List[float]:
+        """Per-worker busy fraction of the fleet's total span."""
+        if span <= 0:
+            return [0.0] * self.workers
+        return [busy / span for busy in self.busy_cycles]
+
+
+class ThreadedSliceDecoder:
+    """Optional real-parallel decode of drained rings.
+
+    Wraps a ``concurrent.futures.ThreadPoolExecutor`` around
+    ``fast_decode_parallel`` so PSB slices of a snapshot decode
+    concurrently in wall-clock time.  Purely an execution backend: the
+    packets (and the simulated cycle accounting done elsewhere) are
+    identical to the serial path.
+    """
+
+    def __init__(self, workers: int) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="fleet-decode"
+        )
+        self.snapshots_decoded = 0
+        self.segments_decoded = 0
+
+    def decode(self, data: bytes, sync: bool = False):
+        result = fast_decode_parallel(data, sync=sync,
+                                      executor=self._executor)
+        self.snapshots_decoded += 1
+        self.segments_decoded += result.segments
+        return result
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedSliceDecoder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -31,6 +31,7 @@ from repro.ipt.fast_decoder import (
     TipRecord,
     fast_decode,
     fast_decode_parallel,
+    psb_boundaries,
     sync_to_psb,
 )
 from repro.ipt.full_decoder import (
@@ -59,5 +60,6 @@ __all__ = [
     "TraceMismatch",
     "fast_decode",
     "fast_decode_parallel",
+    "psb_boundaries",
     "sync_to_psb",
 ]

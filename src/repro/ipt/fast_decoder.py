@@ -197,19 +197,8 @@ class ParallelDecodeResult(FastDecodeResult):
     critical_path_cycles: float = 0.0
 
 
-def fast_decode_parallel(data: bytes, sync: bool = False
-                         ) -> ParallelDecodeResult:
-    """Split at PSB boundaries and decode segments independently.
-
-    Total ``cycles`` is the work done; ``critical_path_cycles`` is the
-    slowest segment — the latency with one worker per segment, the §5.3
-    "can be done in parallel" acceleration.
-    """
-    start = 0
-    if sync:
-        start = sync_to_psb(data)
-        if start < 0:
-            return ParallelDecodeResult([], 0.0, synced_offset=len(data))
+def psb_boundaries(data: bytes, start: int = 0) -> List[int]:
+    """PSB segment boundaries: ``[start, psb1, psb2, ..., len(data)]``."""
     boundaries = [start]
     pos = start
     while True:
@@ -219,15 +208,44 @@ def fast_decode_parallel(data: bytes, sync: bool = False
         boundaries.append(nxt)
         pos = nxt
     boundaries.append(len(data))
+    return boundaries
+
+
+def fast_decode_parallel(data: bytes, sync: bool = False,
+                         executor=None) -> ParallelDecodeResult:
+    """Split at PSB boundaries and decode segments independently.
+
+    Total ``cycles`` is the work done; ``critical_path_cycles`` is the
+    slowest segment — the latency with one worker per segment, the §5.3
+    "can be done in parallel" acceleration.
+
+    ``executor`` optionally maps segment decoding onto a real
+    ``concurrent.futures`` executor (the fleet's threaded checker mode);
+    results are identical to the serial path, in the same order.
+    """
+    start = 0
+    if sync:
+        start = sync_to_psb(data)
+        if start < 0:
+            return ParallelDecodeResult([], 0.0, synced_offset=len(data))
+    boundaries = psb_boundaries(data, start)
+
+    spans = [
+        (begin, end)
+        for begin, end in zip(boundaries, boundaries[1:])
+        if begin < end
+    ]
+    if executor is not None:
+        segments = list(
+            executor.map(fast_decode, [data[b:e] for b, e in spans])
+        )
+    else:
+        segments = [fast_decode(data[b:e]) for b, e in spans]
 
     packets: List[DecodedPacket] = []
     total = 0.0
     critical = 0.0
-    segment_count = 0
-    for begin, end in zip(boundaries, boundaries[1:]):
-        if begin >= end:
-            continue
-        segment = fast_decode(data[begin:end])
+    for (begin, _), segment in zip(spans, segments):
         # Re-base offsets to the full stream.
         packets.extend(
             DecodedPacket(p.kind, p.offset + begin, bits=p.bits, ip=p.ip)
@@ -235,11 +253,10 @@ def fast_decode_parallel(data: bytes, sync: bool = False
         )
         total += segment.cycles
         critical = max(critical, segment.cycles)
-        segment_count += 1
     return ParallelDecodeResult(
         packets,
         total,
         synced_offset=start,
-        segments=max(segment_count, 1),
+        segments=max(len(spans), 1),
         critical_path_cycles=critical,
     )

@@ -18,7 +18,7 @@ the paper's enforcement action.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro import costs
 from repro.telemetry import get_telemetry
@@ -112,6 +112,10 @@ class FlowGuardMonitor:
         self._protected: Dict[int, ProtectedProcess] = {}  # by CR3
         self._originals: Dict[int, object] = {}
         self._installed = False
+        #: Optional ToPA constructor ``f(pmi_callback) -> ToPA``;
+        #: subclasses (the fleet's per-process rings) override the
+        #: paper's two-region 16 KiB default.
+        self.topa_factory: Optional[Callable[[Callable[[], None]], ToPA]] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -155,7 +159,10 @@ class FlowGuardMonitor:
             if pp_holder:
                 self._on_pmi(pp_holder[0])
 
-        topa = ToPA.flowguard_default(pmi_callback=on_pmi)
+        if self.topa_factory is not None:
+            topa = self.topa_factory(on_pmi)
+        else:
+            topa = ToPA.flowguard_default(pmi_callback=on_pmi)
         encoder = IPTEncoder(
             config, output=topa,
             current_cr3=lambda p=process: p.cr3,

@@ -28,7 +28,7 @@ from repro.osmodel.syscalls import (
 )
 from repro.osmodel.vfs import FileSystem
 from repro.osmodel.process import Connection, Process, ProcessState
-from repro.osmodel.kernel import Kernel, KernelPanic
+from repro.osmodel.kernel import Kernel, KernelPanic, StepOutcome
 
 __all__ = [
     "Connection",
@@ -46,5 +46,6 @@ __all__ = [
     "SIGKILL",
     "SIGSEGV",
     "SIGUSR1",
+    "StepOutcome",
     "Sys",
 ]

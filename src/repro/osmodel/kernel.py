@@ -14,6 +14,7 @@ program runs, as in the paper's Linux-utility experiment).
 
 from __future__ import annotations
 
+import enum
 import struct
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -70,6 +71,15 @@ FRAME_SIZE = 8 * _FRAME_WORDS
 
 class KernelPanic(Exception):
     """Internal kernel invariant violation."""
+
+
+class StepOutcome(enum.Enum):
+    """Why one :meth:`Kernel.step` quantum ended."""
+
+    EXITED = "exited"
+    KILLED = "killed"
+    PREEMPTED = "preempted"  # executor interrupt line (PMI, scheduler)
+    BUDGET = "budget"  # instruction budget exhausted, still runnable
 
 
 class Kernel:
@@ -175,26 +185,42 @@ class Kernel:
 
     # -- running --------------------------------------------------------------------
 
-    def run(self, proc: Process, max_steps: int = 50_000_000) -> ProcessState:
-        """Run a process until it exits, is killed, or exhausts steps.
+    def step(self, proc: Process, budget: int) -> StepOutcome:
+        """Run a process for at most ``budget`` instructions.
 
-        Hardware faults become a SIGSEGV termination, like a real kernel
-        delivering an unhandleable fault — attack payloads that crash
-        mid-chain are reported, not propagated as Python errors.
+        The resumable scheduling primitive: callers (``run``, the fleet
+        scheduler) may invoke it repeatedly, interleaving quanta from
+        different processes.  Hardware faults become a SIGSEGV
+        termination, like a real kernel delivering an unhandleable
+        fault — attack payloads that crash mid-chain are reported, not
+        propagated as Python errors.  A ``PREEMPTED`` outcome means the
+        executor's interrupt line was asserted mid-quantum (e.g. a ToPA
+        PMI stalling the process); the process stays runnable.
         """
-        while proc.alive:
-            try:
-                reason = proc.executor.run(max_steps)
-            except CPUFault as fault:
-                proc.fault = str(fault)
-                self.kill_process(proc, SIGSEGV)
-                break
-            if reason is HaltReason.STEPS_EXHAUSTED:
-                break
-            if proc.machine.halted and proc.state is ProcessState.RUNNABLE:
-                # halt instruction without exit(): treat as clean exit.
-                proc.state = ProcessState.EXITED
-            break
+        if proc.state is ProcessState.KILLED:
+            return StepOutcome.KILLED
+        if not proc.alive:
+            return StepOutcome.EXITED
+        try:
+            reason = proc.executor.run(budget)
+        except CPUFault as fault:
+            proc.fault = str(fault)
+            self.kill_process(proc, SIGSEGV)
+            return StepOutcome.KILLED
+        if reason is HaltReason.INTERRUPTED:
+            return StepOutcome.PREEMPTED
+        if reason is HaltReason.STEPS_EXHAUSTED:
+            return StepOutcome.BUDGET
+        if proc.state is ProcessState.KILLED:
+            return StepOutcome.KILLED
+        if proc.machine.halted and proc.state is ProcessState.RUNNABLE:
+            # halt instruction without exit(): treat as clean exit.
+            proc.state = ProcessState.EXITED
+        return StepOutcome.EXITED
+
+    def run(self, proc: Process, max_steps: int = 50_000_000) -> ProcessState:
+        """Run a process until it exits, is killed, or exhausts steps."""
+        self.step(proc, max_steps)
         return proc.state
 
     # -- syscall dispatch ------------------------------------------------------------

@@ -92,13 +92,26 @@ class CycleProfiler:
 
     # -- reconciliation ------------------------------------------------------
 
-    def reconcile(self, stats_list: Iterable[object]) -> Dict[str, object]:
+    def reconcile(
+        self,
+        stats_list: Iterable[object],
+        fleet_workers: "Dict[str, float] | None" = None,
+    ) -> Dict[str, object]:
         """Compare phase totals against summed ``MonitorStats``.
 
         ``stats_list`` is any iterable of objects with the four
         ``*_cycles`` accumulators (duck-typed to avoid importing the
         monitor).  Returns per-accumulator profiler/stats pairs plus an
         overall ``exact`` verdict.
+
+        ``fleet_workers`` extends the contract to fleet mode: a mapping
+        with ``busy_cycles`` (the worker pool's busy-cycle ledger) and
+        ``intercept_cycles`` (endpoint-interception cycles spent on the
+        *protected* core, not a worker).  Every checking cycle a worker
+        burned must appear in some process's ``MonitorStats`` — i.e.
+        ``busy + intercept == sum(decode + check + other)`` — so a
+        drifting worker ledger fails the same ``exact`` verdict
+        (``repro fleet`` exits 1 on it, like ``repro stats``).
         """
         stats_list = list(stats_list)
         phases = self.per_phase()
@@ -127,6 +140,24 @@ class CycleProfiler:
                 self.total(), total_stats, rel_tol=1e-9, abs_tol=1e-6
             ),
         }
+        if fleet_workers is not None:
+            busy = float(fleet_workers.get("busy_cycles", 0.0))
+            intercept = float(fleet_workers.get("intercept_cycles", 0.0))
+            expected = sum(
+                getattr(s, attr)
+                for attr in ("decode_cycles", "check_cycles", "other_cycles")
+                for s in stats_list
+            )
+            ok = math.isclose(
+                busy + intercept, expected, rel_tol=1e-9, abs_tol=1e-6
+            )
+            exact = exact and ok
+            report["fleet_workers"] = {
+                "busy_cycles": busy,
+                "intercept_cycles": intercept,
+                "stats": expected,
+                "ok": ok,
+            }
         report["exact"] = exact and bool(report["total"]["ok"])
         return report
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -9,6 +10,29 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.processes == 8
+        assert args.workers == 4
+        assert args.policy == "stall"
+        assert args.quantum == 2000.0
+        assert args.ring_bytes == 8192
+        assert args.queue_depth == 64
+        assert args.decode_mode == "simulated"
+        assert args.sessions == 2
+        assert args.seed == 0
+        assert not args.inject_rop
+
+    def test_fleet_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "panic"])
 
     def test_attack_choices(self):
         with pytest.raises(SystemExit):
@@ -82,3 +106,24 @@ class TestCommands:
         )
         assert code == 0
         assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_fleet(self, capsys):
+        assert main(["fleet", "-p", "2", "-w", "2", "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 processes x 2 workers" in out
+        assert "exited" in out
+        assert "QUARANTINED" not in out
+        assert "lag p50" in out
+        assert "overhead:" in out
+
+    def test_fleet_json(self, capsys):
+        import json
+
+        assert main(
+            ["fleet", "-p", "2", "-w", "2", "-n", "1", "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["accounting"]["exact"] is True
+        assert payload["quarantines"] == []
+        assert len(payload["processes"]) == 2

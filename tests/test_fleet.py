@@ -1,0 +1,385 @@
+"""Fleet mode tests: rings, worker pool, service, quarantine, telemetry.
+
+The acceptance scenario from the fleet issue lives here: an 8-process /
+4-worker fleet running two server workloads, one of which receives an
+injected ROP exploit — the violator must be quarantined (killed and
+isolated) while the rest of the fleet finishes clean, with the cycle
+ledger reconciling exactly.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.attacks import build_rop_request, run_recon
+from repro.experiments.common import (
+    libraries,
+    seed_server_fs,
+    server_pipeline,
+    server_requests,
+)
+from repro.experiments.fleet_scaling import build_fleet
+from repro.fleet import (
+    CheckTask,
+    FleetConfig,
+    FleetService,
+    ProcessRing,
+    RingPolicy,
+    SimulatedWorkerPool,
+    percentile,
+)
+from repro.ipt import PSB_PATTERN, PacketError, ToPA, ToPARegion, fast_decode
+from repro.ipt.packets import encode_tnt
+from repro.workloads import build_nginx, build_vdso
+
+
+def make_ring(policy, regions=(8, 8)):
+    """A ProcessRing over a tiny two-region ToPA, PMI wired up."""
+    holder = []
+    topa = ToPA(
+        [ToPARegion(regions[0]), ToPARegion(regions[1], interrupt=True)],
+        pmi_callback=lambda: holder[0].on_pmi(),
+    )
+    ring = ProcessRing(topa=topa, policy=policy)
+    holder.append(ring)
+    return ring
+
+
+class TestProcessRing:
+    def test_clean_drain_is_lossless(self):
+        ring = make_ring(RingPolicy.STALL, regions=(64, 64))
+        ring.topa.write(PSB_PATTERN + b"\x00\x00")
+        result = ring.drain()
+        assert result.data == PSB_PATTERN + b"\x00\x00"
+        assert not result.resynced
+        assert result.overwritten == 0
+        assert ring.resyncs == 0
+        assert ring.drains == 1
+
+    def test_stall_pmi_asserts_interrupt_line(self):
+        class Core:
+            stop_requested = False
+
+        core = Core()
+        ring = make_ring(RingPolicy.STALL)
+        ring.executor = core
+        ring.topa.write(bytes(16))  # fill both regions -> PMI
+        assert ring.pmi_count == 1
+        assert ring.stall_requested
+        assert core.stop_requested
+        ring.drain()
+        assert not ring.stall_requested
+        ring.begin_stall(100.0, 250.0)
+        assert ring.stalled
+        ring.end_stall(250.0)
+        assert not ring.stalled
+        assert not core.stop_requested
+        assert ring.stall_cycles == 150.0
+        assert ring.stalls == 1
+
+    def test_lossy_pmi_requests_async_drain(self):
+        ring = make_ring(RingPolicy.LOSSY)
+        ring.topa.write(bytes(16))
+        assert ring.pmi_count == 1
+        assert ring.drain_requested
+        assert not ring.stall_requested  # lossy never pauses the process
+        ring.drain()
+        assert not ring.drain_requested
+
+    def test_lossy_resync_lands_mid_packet(self):
+        # PAD | TNT(2B) | PSB(8B) | TNT*3 | PAD = 18 bytes into a
+        # 16-byte ring: drop-oldest overwrites the PAD and the TNT
+        # *header*, leaving the TNT payload byte at the snapshot head.
+        # Raw decode of that torn buffer must fail; the drain's forced
+        # re-sync drops the tail byte and recovers at the PSB.
+        ring = make_ring(RingPolicy.LOSSY)
+        tnt = encode_tnt((True,) * 6)
+        stream = b"\x00" + tnt + PSB_PATTERN + tnt * 3 + b"\x00"
+        assert len(stream) == 18
+        ring.topa.write(stream)
+        assert ring.pmi_count == 1
+        assert ring.pending_loss() == 2
+
+        torn = ring.topa.snapshot()
+        assert torn[0] == tnt[1]  # a packet tail, not a packet header
+        with pytest.raises(PacketError):
+            fast_decode(torn)
+
+        result = ring.drain()
+        assert result.resynced
+        assert result.overwritten == 2
+        assert result.resync_dropped == 1
+        assert result.data.startswith(PSB_PATTERN)
+        assert fast_decode(result.data).packets
+        assert ring.resyncs == 1
+        assert ring.overwritten_bytes == 2
+        assert ring.resync_dropped_bytes == 1
+
+    def test_unwrapped_drain_never_resyncs(self):
+        # The interrupt region filling is not loss: as long as nothing
+        # was overwritten, the drain must not drop a prefix.
+        ring = make_ring(RingPolicy.LOSSY)
+        stream = b"\x00\x00" + PSB_PATTERN + encode_tnt((True,) * 6)
+        assert len(stream) == 12
+        ring.topa.write(stream)
+        result = ring.drain()
+        assert not result.resynced
+        assert result.overwritten == 0
+        assert result.data == stream  # leading PAD bytes survive
+
+
+def _task(task_id=0, enqueued_at=0.0, slices=(), serial=0.0):
+    return CheckTask(
+        task_id=task_id,
+        pid=1,
+        kind="pmi-drain",
+        syscall_nr=-1,
+        enqueued_at=enqueued_at,
+        slices=list(slices),
+        serial_cycles=serial,
+    )
+
+
+class TestSimulatedWorkerPool:
+    def test_slices_run_in_parallel(self):
+        pool = SimulatedWorkerPool(3)
+        task = _task(slices=[100.0, 100.0, 100.0], serial=10.0)
+        pool.dispatch(task)
+        assert task.finished_at == 110.0  # slices overlap, serial after
+
+        solo = SimulatedWorkerPool(1)
+        same = _task(slices=[100.0, 100.0, 100.0], serial=10.0)
+        solo.dispatch(same)
+        assert same.finished_at == 310.0
+        # Parallelism moves cycles, it never creates or destroys them.
+        assert pool.busy_total == solo.busy_total == 310.0
+
+    def test_ties_break_to_lowest_worker_index(self):
+        pool = SimulatedWorkerPool(4)
+        pool.dispatch(_task(task_id=0, slices=[5.0]))
+        pool.dispatch(_task(task_id=1, slices=[3.0]))
+        assert pool.busy_cycles == [5.0, 3.0, 0.0, 0.0]
+        assert pool.tasks_run == [1, 1, 0, 0]
+
+    def test_serial_phase_follows_last_slice(self):
+        pool = SimulatedWorkerPool(2)
+        task = _task(slices=[10.0, 50.0], serial=5.0)
+        pool.dispatch(task)
+        assert task.started_at == 0.0
+        assert task.finished_at == 55.0
+        assert task.lag == 55.0
+        # The serial combine runs on the worker that decoded the final
+        # slice.
+        assert pool.free_at == [10.0, 55.0]
+
+    def test_schedule_is_deterministic(self):
+        def run():
+            pool = SimulatedWorkerPool(3)
+            ends = []
+            for i in range(20):
+                ends.append(
+                    pool.dispatch(
+                        _task(
+                            task_id=i,
+                            enqueued_at=float(i * 3),
+                            slices=[float(7 + i % 5), 4.0],
+                            serial=float(i % 3),
+                        )
+                    )
+                )
+            return ends, pool.free_at, pool.busy_cycles, pool.tasks_run
+
+        assert run() == run()
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+
+@pytest.fixture(scope="module")
+def small_fleet_result():
+    return build_fleet(2, 2, sessions=1).run()
+
+
+class TestFleetService:
+    def test_clean_fleet_finishes_clean(self, small_fleet_result):
+        result = small_fleet_result
+        assert result.detections == 0
+        assert result.quarantines == []
+        assert result.tasks > 0
+        assert len(result.processes) == 2
+        for row in result.processes:
+            assert row["state"] == "exited"
+            assert not row["quarantined"]
+            assert row["checks"] > 0
+            assert row["quanta"] > 1  # actually time-sliced
+
+    def test_cycle_ledger_reconciles_exactly(self, small_fleet_result):
+        accounting = small_fleet_result.accounting
+        assert accounting["exact"], accounting
+        assert accounting["busy_cycles"] + accounting[
+            "intercept_cycles"
+        ] == pytest.approx(accounting["stats_cycles"], rel=1e-9)
+        assert sum(small_fleet_result.worker_busy) == pytest.approx(
+            accounting["busy_cycles"], rel=1e-9
+        )
+
+    def test_same_seed_same_everything(self):
+        first = build_fleet(2, 2, sessions=1).run()
+        second = build_fleet(2, 2, sessions=1).run()
+        assert first.schedule_digest == second.schedule_digest
+        assert first.to_dict() == second.to_dict()
+
+    def test_more_workers_cut_tail_lag(self):
+        one = build_fleet(8, 1, sessions=1).run()
+        four = build_fleet(8, 4, sessions=1).run()
+        # Lossy rings + unbounded queue: the submitted work is the same,
+        # so the process schedule is identical across worker counts —
+        # only the checker pool changes, and the lag tail must shrink.
+        assert one.schedule_digest == four.schedule_digest
+        assert one.tasks == four.tasks
+        assert four.lag["p99"] < one.lag["p99"]
+        assert four.lag["mean"] < one.lag["mean"]
+        assert four.makespan <= one.makespan
+
+    def test_stall_pays_cycles_lossy_pays_bytes(self):
+        stall = build_fleet(
+            4, 2, sessions=1, policy=RingPolicy.STALL,
+            ring_bytes=1024, max_queue_depth=64,
+        ).run()
+        lossy = build_fleet(
+            4, 2, sessions=1, policy=RingPolicy.LOSSY,
+            ring_bytes=1024, max_queue_depth=64,
+        ).run()
+        # §4 trade-off under buffer pressure: stall is lossless but
+        # pays drain latency as overhead; lossy keeps running but drops
+        # bytes and must re-sync at the next PSB.
+        assert stall.overhead > lossy.overhead
+        assert stall.stall_cycles > 0
+        assert sum(row["stalls"] for row in stall.processes) > 0
+        assert lossy.stall_cycles == 0.0
+        assert sum(row["resyncs"] for row in lossy.processes) > 0
+        assert sum(
+            row["overwritten_bytes"] for row in lossy.processes
+        ) > 0
+
+
+def _mixed_fleet(processes=2, sessions=1, **cfg):
+    service = FleetService(FleetConfig(**cfg))
+    seed_server_fs(service.kernel)
+    for index in range(processes):
+        name = ("nginx", "exim")[index % 2]
+        service.add_workload(
+            server_pipeline(name), server_requests(name, sessions)
+        )
+    return service
+
+
+class TestThreadedDecode:
+    def test_threads_mode_matches_simulated_exactly(self):
+        sim = _mixed_fleet(workers=2, decode_mode="simulated").run()
+        thr = _mixed_fleet(workers=2, decode_mode="threads").run()
+        # The thread pool is an execution backend only: every simulated
+        # observable is identical.
+        assert thr.schedule_digest == sim.schedule_digest
+        assert thr.lag == sim.lag
+        assert thr.accounting == sim.accounting
+        assert sim.threaded_decode is None
+        assert thr.threaded_decode["snapshots"] > 0
+        assert thr.threaded_decode["segments"] >= thr.threaded_decode[
+            "snapshots"
+        ]
+        d_sim, d_thr = sim.to_dict(), thr.to_dict()
+        for d in (d_sim, d_thr):
+            d.pop("threaded_decode")
+            d.pop("config")
+        assert d_sim == d_thr
+
+    def test_unknown_decode_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FleetService(FleetConfig(decode_mode="quantum"))
+
+
+class TestFleetTelemetry:
+    def test_reconcile_includes_worker_ledger(self):
+        with telemetry.capture():
+            service = _mixed_fleet(workers=2)
+            result = service.run()
+            report = service.reconcile()
+        assert result.accounting["exact"]
+        assert report["exact"], report
+        assert report["fleet_workers"]["ok"]
+        assert report["fleet_workers"]["busy_cycles"] == pytest.approx(
+            result.accounting["busy_cycles"], rel=1e-9
+        )
+
+    def test_tampered_worker_ledger_fails_reconcile(self):
+        with telemetry.capture():
+            service = _mixed_fleet(workers=1)
+            service.run()
+            service.dispatcher.intercept_cycles += 123.0
+            report = service.reconcile()
+        assert not report["exact"]
+        assert not report["fleet_workers"]["ok"]
+
+    def test_reconcile_none_when_disabled(self):
+        service = _mixed_fleet(workers=1)
+        service.run()
+        assert service.reconcile() is None
+
+
+@pytest.fixture(scope="module")
+def attack_fleet():
+    """The acceptance scenario: 8 processes, 4 workers, two server
+    workloads, a ROP exploit injected mid-stream into one nginx."""
+    service = FleetService(FleetConfig(workers=4, ring_bytes=8192))
+    seed_server_fs(service.kernel)
+    recon = run_recon(build_nginx(), libraries(), vdso=build_vdso())
+    rop = build_rop_request(recon)
+    attacked_pid = None
+    for index in range(8):
+        name = ("nginx", "exim")[index % 2]
+        requests = list(server_requests(name, 2))
+        if index == 0:
+            requests.insert(len(requests) // 2, rop)
+        proc = service.add_workload(server_pipeline(name), requests)
+        if index == 0:
+            attacked_pid = proc.pid
+    return attacked_pid, service.run()
+
+
+class TestFleetQuarantine:
+    def test_violator_is_quarantined(self, attack_fleet):
+        attacked_pid, result = attack_fleet
+        assert result.detections >= 1
+        assert attacked_pid in result.quarantined_pids
+        event = result.quarantines[0]
+        assert event.pid == attacked_pid
+        assert event.name == "nginx"
+        # Asynchronous enforcement: the verdict lands strictly after
+        # the check was enqueued (the detection window).
+        assert event.detected_at > event.enqueued_at
+        row = next(
+            r for r in result.processes if r["pid"] == attacked_pid
+        )
+        assert row["quarantined"]
+
+    def test_rest_of_fleet_finishes_clean(self, attack_fleet):
+        attacked_pid, result = attack_fleet
+        assert result.quarantined_pids == [attacked_pid]
+        clean = [
+            r for r in result.processes if r["pid"] != attacked_pid
+        ]
+        assert len(clean) == 7
+        for row in clean:
+            assert row["state"] == "exited"
+            assert not row["quarantined"]
+            assert row["checks"] > 0
+
+    def test_attack_run_ledger_still_exact(self, attack_fleet):
+        _, result = attack_fleet
+        assert result.accounting["exact"], result.accounting

@@ -424,3 +424,48 @@ class TestFullDecode:
         result = decoder.decode([])
         assert result.edges == []
         assert result.insn_count == 0
+
+
+class TestToPAEdgeCases:
+    """Ring-wrap corner cases the fleet's per-process rings rely on."""
+
+    def test_pmi_fires_exactly_at_ring_wrap(self):
+        fired = []
+        topa = ToPA(
+            [ToPARegion(16), ToPARegion(16, interrupt=True)],
+            pmi_callback=lambda: fired.append(topa.total_bytes_written),
+        )
+        payload = bytes(range(32))
+        topa.write(payload)
+        # The interrupt region fills on the very byte that fills the
+        # ring: exactly one PMI, and nothing has been overwritten yet.
+        assert fired == [32]
+        assert topa.wrapped
+        assert topa.snapshot() == payload
+        # The next byte is the first drop-oldest overwrite.
+        topa.write(b"\xaa")
+        assert topa.snapshot() == payload[1:] + b"\xaa"
+        assert fired == [32]  # no second PMI until the region refills
+
+    def test_overflow_during_syscall_keeps_group_atomic(self):
+        # A syscall emits a multi-packet far-transfer group.  Size the
+        # ring so the PMI lands inside that group: the group finishes
+        # emitting (PMI skid), overflowing the ring, and the snapshot
+        # holds the newest capacity-many bytes.
+        items = [A.mov(R0, 5), A.syscall(), A.halt()]
+        _, reference, _, _ = run_traced(items)
+        full = reference.output.snapshot()
+
+        fired = []
+        topa = ToPA(
+            [ToPARegion(8), ToPARegion(8, interrupt=True)],
+            pmi_callback=lambda: fired.append(topa.total_bytes_written),
+        )
+        run_traced(items, topa=topa)
+        assert topa.total_bytes_written == len(full)
+        assert len(full) > topa.capacity
+        assert fired[0] == topa.capacity  # PMI at the interrupt fill
+        skid = topa.total_bytes_written - fired[0]
+        assert skid > 0  # bytes kept landing after the PMI
+        assert topa.wrapped
+        assert topa.snapshot() == full[-topa.capacity:]

@@ -6,6 +6,7 @@ from repro.lang import (
     AddrOf,
     Asm,
     Assign,
+    BinOp,
     Call,
     Const,
     Func,
@@ -30,6 +31,7 @@ from repro.osmodel import (
     ProcessState,
     SIGKILL,
     SIGUSR1,
+    StepOutcome,
     Sys,
 )
 
@@ -409,3 +411,68 @@ class TestFaults:
         assert state is ProcessState.KILLED
         assert proc.killed_by == 11
         assert proc.fault is not None
+
+
+class TestKernelStep:
+    """The resumable scheduling primitive the fleet scheduler runs on."""
+
+    def _loop_kernel(self, bound=50):
+        body = [
+            Let("i", Const(0)),
+            While(
+                Rel("<", Var("i"), Const(bound)),
+                [Assign("i", BinOp("+", Var("i"), Const(1)))],
+            ),
+            Return(Var("i")),
+        ]
+        return build_kernel(body)
+
+    def test_budget_outcome_is_resumable(self):
+        kernel = self._loop_kernel()
+        proc = kernel.spawn("prog")
+        outcomes = [kernel.step(proc, 25)]
+        assert outcomes[0] is StepOutcome.BUDGET
+        assert proc.state is ProcessState.RUNNABLE
+        while outcomes[-1] is StepOutcome.BUDGET:
+            outcomes.append(kernel.step(proc, 25))
+        assert outcomes[-1] is StepOutcome.EXITED
+        assert len(outcomes) > 2  # genuinely time-sliced
+        assert proc.exit_code == 50
+
+    def test_sliced_run_matches_single_run(self):
+        solo = self._loop_kernel()
+        whole = solo.spawn("prog")
+        assert solo.run(whole) is ProcessState.EXITED
+
+        sliced_kernel = self._loop_kernel()
+        sliced = sliced_kernel.spawn("prog")
+        while sliced_kernel.step(sliced, 7) is StepOutcome.BUDGET:
+            pass
+        assert sliced.state is ProcessState.EXITED
+        assert sliced.exit_code == whole.exit_code
+        assert sliced.executor.cycles == whole.executor.cycles
+
+    def test_preempted_by_interrupt_line(self):
+        kernel = self._loop_kernel()
+        proc = kernel.spawn("prog")
+        assert kernel.step(proc, 10) is StepOutcome.BUDGET
+        proc.executor.stop_requested = True
+        assert kernel.step(proc, 1_000_000) is StepOutcome.PREEMPTED
+        assert proc.state is ProcessState.RUNNABLE
+        # The interrupt is consumed; the process resumes where it was.
+        assert not proc.executor.stop_requested
+        while kernel.step(proc, 1000) is StepOutcome.BUDGET:
+            pass
+        assert proc.exit_code == 50
+
+    def test_step_on_dead_processes(self):
+        kernel = self._loop_kernel()
+        proc = kernel.spawn("prog")
+        while kernel.step(proc, 1000) is StepOutcome.BUDGET:
+            pass
+        assert kernel.step(proc, 1000) is StepOutcome.EXITED
+
+        victim = kernel.spawn("prog")
+        kernel.step(victim, 5)
+        kernel.kill_process(victim, SIGKILL)
+        assert kernel.step(victim, 1000) is StepOutcome.KILLED
