@@ -13,10 +13,13 @@ Commands:
   report discovered paths.
 - ``disasm <server|utility|spec-name>`` — dump a workload's entry
   function as assembly text.
-- ``stats <server> [-n N] [--trace-out F] [--spans-out F]`` — run a
-  protected server with telemetry enabled and dump the metrics
-  snapshot (JSON), reconciled against the monitor's cycle accounting.
-- ``fleet [--processes N] [--workers M] [--policy stall|lossy]`` —
+- ``stats <server> [-n N] [--segment-cache N] [--edge-cache N]
+  [--trace-out F] [--spans-out F]`` — run a protected server with
+  telemetry enabled and dump the metrics snapshot (JSON), reconciled
+  against the monitor's cycle accounting; the cache flags enable the
+  fast-path decode/verdict caches and report their hit rates.
+- ``fleet [--processes N] [--workers M] [--policy stall|lossy]
+  [--segment-cache N] [--edge-cache N]`` —
   time-slice N protected server processes against M checker workers,
   optionally injecting a ROP attack into one of them
   (``--inject-rop``); exits non-zero if the cycle ledger drifts or an
@@ -200,6 +203,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro import telemetry
     from repro.experiments.common import run_server, server_requests
 
+    policy = None
+    if args.segment_cache or args.edge_cache:
+        from repro.monitor.policy import FlowGuardPolicy
+
+        policy = FlowGuardPolicy(
+            segment_cache_entries=args.segment_cache,
+            edge_cache_entries=args.edge_cache,
+        )
     tel = telemetry.get_telemetry()
     tel.reset()
     tel.enable()
@@ -208,6 +219,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             args.server,
             server_requests(args.server, args.sessions),
             protected=True,
+            policy=policy,
         )
         assert run.monitor is not None and run.stats is not None
         reconciliation = tel.profiler.reconcile(run.monitor.all_stats())
@@ -215,6 +227,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "server": args.server,
             "sessions": args.sessions,
             "monitor": run.monitor.report(),
+            "caches": run.monitor.cache_stats(),
             "telemetry": tel.snapshot(),
             "reconciliation": reconciliation,
         }
@@ -223,6 +236,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         tel.disable()
     json.dump(payload, sys.stdout, indent=2, default=str)
     print()
+    for name in ("segment", "edge"):
+        cache = payload["caches"].get(name)
+        if cache is not None:
+            print(f"[{name} cache: {cache['hits']} hits / "
+                  f"{cache['misses']} misses "
+                  f"({cache['hit_rate']:.1%} hit rate)]",
+                  file=sys.stderr)
     if not reconciliation["exact"]:
         print("cycle accounting does NOT reconcile", file=sys.stderr)
         return 1
@@ -246,6 +266,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         ring_policy=RingPolicy(args.policy),
         max_queue_depth=args.queue_depth,
         decode_mode=args.decode_mode,
+        segment_cache_entries=args.segment_cache,
+        edge_cache_entries=args.edge_cache,
         seed=args.seed,
     )
     service = FleetService(config)
@@ -305,6 +327,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"  overhead: {result.overhead:.2%} "
           f"(monitor {result.monitor_cycles:.0f} + stall "
           f"{result.stall_cycles:.0f} over app {result.app_cycles:.0f})")
+    if result.caches:
+        for name in ("segment", "edge"):
+            cache = result.caches.get(name)
+            if cache is not None:
+                print(f"  {name} cache: {cache['hits']} hits / "
+                      f"{cache['misses']} misses "
+                      f"({cache['hit_rate']:.1%} hit rate)")
     if args.json:
         json.dump(result.to_dict(), sys.stdout, indent=2, default=str)
         print()
@@ -431,6 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("server",
                        choices=["nginx", "vsftpd", "openssh", "exim"])
     stats.add_argument("-n", "--sessions", type=int, default=4)
+    stats.add_argument("--segment-cache", type=int, default=0,
+                       metavar="N",
+                       help="segment decode cache entries (0 = off)")
+    stats.add_argument("--edge-cache", type=int, default=0, metavar="N",
+                       help="edge-verdict memo entries (0 = off)")
     _add_trace_options(stats)
     stats.set_defaults(func=_cmd_stats)
 
@@ -452,6 +486,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--decode-mode",
                        choices=["simulated", "threads"],
                        default="simulated")
+    fleet.add_argument("--segment-cache", type=int, default=0,
+                       metavar="N",
+                       help="shared segment decode cache entries "
+                            "(0 = off)")
+    fleet.add_argument("--edge-cache", type=int, default=0, metavar="N",
+                       help="per-process edge-verdict memo entries "
+                            "(0 = off)")
     fleet.add_argument("-n", "--sessions", type=int, default=2,
                        help="client sessions per process")
     fleet.add_argument("--servers", nargs="*", default=None,

@@ -60,6 +60,10 @@ class FleetConfig:
     #: "simulated" (cycle-accurate pool only) or "threads" (also decode
     #: each drained buffer on a real concurrent.futures pool).
     decode_mode: str = "simulated"
+    #: fast-path cache capacities applied to the default policy (and to
+    #: the threaded decoder's private cache); 0 keeps caching off.
+    segment_cache_entries: int = 0
+    edge_cache_entries: int = 0
     seed: int = 0
 
 
@@ -84,6 +88,8 @@ class FleetResult:
     accounting: dict
     schedule_digest: str
     threaded_decode: Optional[dict] = None
+    #: monitor.cache_stats() snapshot (segment + edge caches).
+    caches: Optional[dict] = None
 
     @property
     def quarantined_pids(self) -> List[int]:
@@ -105,6 +111,8 @@ class FleetResult:
                 "ring_policy": self.config.ring_policy.value,
                 "max_queue_depth": self.config.max_queue_depth,
                 "decode_mode": self.config.decode_mode,
+                "segment_cache_entries": self.config.segment_cache_entries,
+                "edge_cache_entries": self.config.edge_cache_entries,
                 "seed": self.config.seed,
             },
             "processes": self.processes,
@@ -135,6 +143,7 @@ class FleetResult:
             "accounting": self.accounting,
             "schedule_digest": self.schedule_digest,
             "threaded_decode": self.threaded_decode,
+            "caches": self.caches,
         }
 
 
@@ -149,6 +158,11 @@ class FleetService:
     ) -> None:
         self.config = config if config is not None else FleetConfig()
         self.kernel = kernel if kernel is not None else Kernel()
+        if policy is None:
+            policy = FlowGuardPolicy(
+                segment_cache_entries=self.config.segment_cache_entries,
+                edge_cache_entries=self.config.edge_cache_entries,
+            )
         self.pool = SimulatedWorkerPool(self.config.workers)
         self.dispatcher = FleetDispatcher(
             self.pool,
@@ -175,7 +189,10 @@ class FleetService:
         )
         self.decoder: Optional[ThreadedSliceDecoder] = None
         if self.config.decode_mode == "threads":
-            self.decoder = ThreadedSliceDecoder(self.config.workers)
+            self.decoder = ThreadedSliceDecoder(
+                self.config.workers,
+                cache_entries=self.config.segment_cache_entries,
+            )
             self.dispatcher.real_decoder = self.decoder
         elif self.config.decode_mode != "simulated":
             raise ValueError(
@@ -305,6 +322,8 @@ class FleetService:
                 "segments": self.decoder.segments_decoded,
                 "workers": self.decoder.workers,
             }
+            if self.decoder.cache is not None:
+                threaded["cache"] = self.decoder.cache.stats()
         return FleetResult(
             config=self.config,
             processes=rows,
@@ -323,4 +342,5 @@ class FleetService:
             accounting=accounting,
             schedule_digest=self.scheduler.schedule_digest(),
             threaded_decode=threaded,
+            caches=self.monitor.cache_stats(),
         )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.ipt.fast_decoder import fast_decode_parallel
+from repro.ipt.segment_cache import SegmentDecodeCache
 
 
 @dataclass
@@ -140,21 +141,34 @@ class ThreadedSliceDecoder:
     concurrently in wall-clock time.  Purely an execution backend: the
     packets (and the simulated cycle accounting done elsewhere) are
     identical to the serial path.
+
+    ``cache_entries`` > 0 gives this decoder its *own*
+    :class:`~repro.ipt.segment_cache.SegmentDecodeCache`, so repeated
+    PSB slices across drained rings decode once.  The cache is private —
+    it must not be shared with the checkers' cache, whose hit/miss
+    stream feeds the simulated accounting.  Cached decoding runs on the
+    caller thread (a hit skips decode work entirely, which beats
+    fanning misses out to the pool).
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, cache_entries: int = 0) -> None:
         from concurrent.futures import ThreadPoolExecutor
 
         self.workers = workers
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="fleet-decode"
         )
+        self.cache = (
+            SegmentDecodeCache(cache_entries) if cache_entries > 0
+            else None
+        )
         self.snapshots_decoded = 0
         self.segments_decoded = 0
 
     def decode(self, data: bytes, sync: bool = False):
         result = fast_decode_parallel(data, sync=sync,
-                                      executor=self._executor)
+                                      executor=self._executor,
+                                      cache=self.cache)
         self.snapshots_decoded += 1
         self.segments_decoded += result.segments
         return result

@@ -28,12 +28,15 @@ from repro.ipt.msr import RTIT_CTL, IPTConfig
 from repro.ipt.encoder import IPTEncoder
 from repro.ipt.fast_decoder import (
     FastDecodeResult,
+    SegmentDecode,
     TipRecord,
     fast_decode,
     fast_decode_parallel,
     psb_boundaries,
+    psb_offsets,
     sync_to_psb,
 )
+from repro.ipt.segment_cache import SegmentDecodeCache
 from repro.ipt.full_decoder import (
     FlowEdge,
     FullDecodeResult,
@@ -54,6 +57,8 @@ __all__ = [
     "PacketError",
     "PacketKind",
     "RTIT_CTL",
+    "SegmentDecode",
+    "SegmentDecodeCache",
     "TipRecord",
     "ToPA",
     "ToPARegion",
@@ -61,5 +66,6 @@ __all__ = [
     "fast_decode",
     "fast_decode_parallel",
     "psb_boundaries",
+    "psb_offsets",
     "sync_to_psb",
 ]

@@ -13,6 +13,7 @@ independently, modelling the parallel decode of §5.3; its
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -60,6 +61,19 @@ class FastDecodeResult:
 
     def tip_records(self) -> List[TipRecord]:
         """Plain-TIP targets with interleaved TNT context."""
+        return self.tip_records_with_state()[0]
+
+    def tip_records_with_state(
+        self,
+    ) -> Tuple[List[TipRecord], Tuple[bool, ...], bool]:
+        """Like :meth:`tip_records`, plus the decoder state dangling at
+        the end of the stream: ``(records, trailing_tnt, trailing_far)``.
+
+        TNT bits and the far-transfer marker accumulate *across* PSB
+        boundaries (a PSB resets IP compression, not branch context), so
+        stitching independently decoded segments needs the trailing
+        state of each segment to patch the first TIP of the next.
+        """
         records: List[TipRecord] = []
         pending_tnt: List[bool] = []
         after_far = False
@@ -79,7 +93,24 @@ class FastDecodeResult:
                 after_far = False
             elif packet.kind is PacketKind.TIP_PGE:
                 after_far = True
-        return records
+        return records, tuple(pending_tnt), after_far
+
+    def rebased(self, base: int) -> "FastDecodeResult":
+        """A copy with packet offsets shifted into the enclosing stream
+        (``base`` is the segment's offset there).  ``base=0`` returns
+        ``self`` unchanged."""
+        if base == 0:
+            return self
+        return FastDecodeResult(
+            [
+                DecodedPacket(p.kind, p.offset + base, bits=p.bits,
+                              ip=p.ip)
+                for p in self.packets
+            ],
+            self.cycles,
+            synced_offset=self.synced_offset + base,
+            truncated=self.truncated,
+        )
 
     def fup_ips(self) -> List[int]:
         """All FUP source addresses (syscall sites + PSB context)."""
@@ -90,9 +121,47 @@ class FastDecodeResult:
         ]
 
 
+@dataclass
+class SegmentDecode:
+    """One PSB segment as the fast path consumes it: stream-rebased
+    packets and TIP records, plus the trailing decoder state needed to
+    stitch this segment onto the one after it (see
+    :meth:`FastDecodeResult.tip_records_with_state`).
+
+    Consumers must treat ``packets`` and ``records`` as immutable — the
+    segment cache hands the same lists to every hit.
+    """
+
+    packets: List[DecodedPacket]
+    records: List[TipRecord]
+    trailing_tnt: Tuple[bool, ...]
+    trailing_far: bool
+    cycles: float
+    truncated: bool
+
+
 def sync_to_psb(data: bytes, start: int = 0) -> int:
     """Offset of the first PSB at/after ``start``; -1 if none."""
+    if isinstance(data, memoryview):  # views lack .find
+        data = bytes(data)
     return data.find(PSB_PATTERN, start)
+
+
+def psb_offsets(data: bytes, start: int = 0) -> List[int]:
+    """All PSB packet offsets at/after ``start``, in stream order.
+
+    The one shared PSB scan: tail decoding, segment splitting and slice
+    accounting all derive their boundaries from it.
+    """
+    offsets: List[int] = []
+    pos = start
+    while True:
+        pos = sync_to_psb(data, pos)
+        if pos < 0:
+            break
+        offsets.append(pos)
+        pos += len(PSB_PATTERN)
+    return offsets
 
 
 def fast_decode(
@@ -106,6 +175,9 @@ def fast_decode(
     the first PSB.  A truncated final packet marks the result
     ``truncated`` instead of raising — a snapshot may end mid-packet
     only if the producer was interrupted, and real decoders tolerate it.
+
+    ``data`` may be a ``memoryview`` over a larger buffer: segment
+    decoding slices zero-copy (the scan indexes bytes either way).
     """
     pos = 0
     if sync:
@@ -123,7 +195,10 @@ def fast_decode(
         if header == PAD_BYTE:
             pos += 1
             continue
-        if data.startswith(PSB_PATTERN, pos):
+        if (
+            header == PSB_PATTERN[0]
+            and data[pos:pos + len(PSB_PATTERN)] == PSB_PATTERN
+        ):
             packets.append(DecodedPacket(PacketKind.PSB, pos))
             last_ip = 0
             pos += len(PSB_PATTERN)
@@ -166,7 +241,7 @@ def fast_decode(
             packets.append(DecodedPacket(kind, pos, ip=ip))
             pos += 2 + width
             continue
-        if PSB_PATTERN.startswith(data[pos:]):
+        if PSB_PATTERN[: size - pos] == data[pos:]:
             # The buffer ends inside a PSB pattern: a clean truncation,
             # not a desync.
             truncated = True
@@ -198,30 +273,40 @@ class ParallelDecodeResult(FastDecodeResult):
 
 
 def psb_boundaries(data: bytes, start: int = 0) -> List[int]:
-    """PSB segment boundaries: ``[start, psb1, psb2, ..., len(data)]``."""
-    boundaries = [start]
-    pos = start
-    while True:
-        nxt = sync_to_psb(data, pos + len(PSB_PATTERN))
-        if nxt < 0:
-            break
-        boundaries.append(nxt)
-        pos = nxt
-    boundaries.append(len(data))
-    return boundaries
+    """PSB segment boundaries: ``[start, psb1, psb2, ..., len(data)]``.
+
+    PSBs are found by :func:`psb_offsets` from one pattern-length past
+    ``start`` (``start`` itself already opens the first segment).
+    """
+    return (
+        [start]
+        + psb_offsets(data, start + len(PSB_PATTERN))
+        + [len(data)]
+    )
 
 
 def fast_decode_parallel(data: bytes, sync: bool = False,
-                         executor=None) -> ParallelDecodeResult:
+                         executor=None,
+                         cache=None) -> ParallelDecodeResult:
     """Split at PSB boundaries and decode segments independently.
 
     Total ``cycles`` is the work done; ``critical_path_cycles`` is the
     slowest segment — the latency with one worker per segment, the §5.3
     "can be done in parallel" acceleration.
 
+    Segments are sliced as ``memoryview``s over ``data`` — no per-segment
+    byte copy — except for non-thread executors, which pickle their
+    arguments and therefore need real ``bytes``.
+
     ``executor`` optionally maps segment decoding onto a real
     ``concurrent.futures`` executor (the fleet's threaded checker mode);
     results are identical to the serial path, in the same order.
+
+    ``cache`` optionally routes each segment through a
+    :class:`repro.ipt.segment_cache.SegmentDecodeCache`, so
+    byte-identical segments across snapshots and processes decode once;
+    hits charge the cache's probe cost model instead of the per-byte
+    decode cost (and are reported in ``cycles`` accordingly).
     """
     start = 0
     if sync:
@@ -235,14 +320,40 @@ def fast_decode_parallel(data: bytes, sync: bool = False,
         for begin, end in zip(boundaries, boundaries[1:])
         if begin < end
     ]
+    view = memoryview(data)
+
+    if cache is not None:
+        packets: List[DecodedPacket] = []
+        total = 0.0
+        critical = 0.0
+        for begin, end in spans:
+            segment = cache.decode(view[begin:end], base=begin)
+            packets.extend(segment.packets)
+            total += segment.cycles
+            critical = max(critical, segment.cycles)
+        return ParallelDecodeResult(
+            packets,
+            total,
+            synced_offset=start,
+            segments=max(len(spans), 1),
+            critical_path_cycles=critical,
+        )
+
     if executor is not None:
+        zero_copy = isinstance(executor, ThreadPoolExecutor)
         segments = list(
-            executor.map(fast_decode, [data[b:e] for b, e in spans])
+            executor.map(
+                fast_decode,
+                [
+                    view[b:e] if zero_copy else bytes(view[b:e])
+                    for b, e in spans
+                ],
+            )
         )
     else:
-        segments = [fast_decode(data[b:e]) for b, e in spans]
+        segments = [fast_decode(view[b:e]) for b, e in spans]
 
-    packets: List[DecodedPacket] = []
+    packets = []
     total = 0.0
     critical = 0.0
     for (begin, _), segment in zip(spans, segments):

@@ -1,0 +1,204 @@
+"""Content-addressed segment decode cache.
+
+PSB packets reset IP compression, so a PSB-delimited segment decodes to
+the same packets wherever it appears — in a later snapshot of the same
+ring, or in a different process's ring altogether.  The cache keys each
+segment by a short content hash and stores its decode (packets, TIP
+records, trailing stitch state) in a bounded LRU, so byte-identical
+segments across a fleet decode exactly once.
+
+Cycle model (honest accounting, reconciled by ``CycleProfiler``): every
+probe streams the segment through the hash engine
+(``SEGMENT_CACHE_HASH_CYCLES_PER_BYTE``) and pays one store probe.  A
+hit charges only that; a miss additionally pays the full per-byte fast
+decode.  Cached results are rebased on demand to the segment's offset in
+the enclosing stream, with a small per-entry memo of popular bases so
+steady-state hits skip the rebase loop too.
+
+Truncated (mid-packet) segments are **never** cached: a segment cut by
+the snapshot boundary will decode differently once the ring fills in the
+missing bytes, so its hash must not pin the partial decode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from repro import costs
+from repro.telemetry import get_telemetry
+from repro.ipt.fast_decoder import (
+    FastDecodeResult,
+    SegmentDecode,
+    TipRecord,
+    fast_decode,
+)
+from repro.ipt.packets import DecodedPacket
+
+#: rebased views memoized per entry; beyond this, hits rebase afresh.
+_REBASE_MEMO_LIMIT = 8
+
+
+class _SegmentEntry:
+    """One cached segment decode, segment-relative, plus rebase memos."""
+
+    __slots__ = ("result", "records", "trailing_tnt", "trailing_far",
+                 "rebased")
+
+    def __init__(
+        self,
+        result: FastDecodeResult,
+        records: List[TipRecord],
+        trailing_tnt: Tuple[bool, ...],
+        trailing_far: bool,
+    ) -> None:
+        self.result = result
+        self.records = records
+        self.trailing_tnt = trailing_tnt
+        self.trailing_far = trailing_far
+        self.rebased: Dict[int, Tuple[list, list]] = {}
+
+    def at_base(self, base: int) -> Tuple[list, list]:
+        """(packets, records) rebased to stream offset ``base``.
+
+        The returned lists are shared across hits — callers must not
+        mutate them (list concatenation, as the tail decoder does, is
+        fine).
+        """
+        memo = self.rebased.get(base)
+        if memo is None:
+            if base == 0:
+                memo = (self.result.packets, self.records)
+            else:
+                memo = (
+                    [
+                        DecodedPacket(p.kind, p.offset + base,
+                                      bits=p.bits, ip=p.ip)
+                        for p in self.result.packets
+                    ],
+                    [
+                        TipRecord(r.ip, r.tnt_before, r.offset + base,
+                                  r.after_far)
+                        for r in self.records
+                    ],
+                )
+            if len(self.rebased) < _REBASE_MEMO_LIMIT:
+                self.rebased[base] = memo
+        return memo
+
+
+class SegmentDecodeCache:
+    """Bounded LRU of segment decodes, keyed by segment content hash."""
+
+    def __init__(self, entries: int = 256) -> None:
+        if entries < 1:
+            raise ValueError("segment cache needs at least one entry")
+        self.entries = entries
+        self._store: "OrderedDict[bytes, _SegmentEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: bytes actually run through the fast decoder (misses).
+        self.bytes_decoded = 0
+        #: bytes served from cache instead of decoding (hits).
+        self.bytes_served = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": self.entries,
+            "resident": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "bytes_decoded": self.bytes_decoded,
+            "bytes_served": self.bytes_served,
+        }
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode_segment(self, segment, base: int = 0) -> SegmentDecode:
+        """Decode one PSB segment through the cache.
+
+        ``segment`` is the segment's bytes (a ``memoryview`` slice keeps
+        it zero-copy); ``base`` is its offset in the enclosing stream,
+        applied to packet/record offsets in the returned view.
+        """
+        size = len(segment)
+        key = hashlib.blake2b(segment, digest_size=16).digest()
+        tel = get_telemetry()
+        entry = self._store.get(key)
+        if entry is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            self.bytes_served += size
+            if tel.enabled:
+                tel.metrics.counter("ipt.segment_cache.hits").inc()
+            packets, records = entry.at_base(base)
+            return SegmentDecode(
+                packets,
+                records,
+                entry.trailing_tnt,
+                entry.trailing_far,
+                self._hit_cycles(size),
+                False,
+            )
+
+        self.misses += 1
+        if tel.enabled:
+            tel.metrics.counter("ipt.segment_cache.misses").inc()
+        result = fast_decode(segment)
+        self.bytes_decoded += size
+        records, trailing_tnt, trailing_far = result.tip_records_with_state()
+        cycles = size * costs.SEGMENT_CACHE_HASH_CYCLES_PER_BYTE + result.cycles
+        if result.truncated:
+            # Mid-packet segments will decode differently once the
+            # missing bytes arrive — never pin them in the store.
+            rebased = result.rebased(base)
+            if base:
+                records = [
+                    TipRecord(r.ip, r.tnt_before, r.offset + base,
+                              r.after_far)
+                    for r in records
+                ]
+            return SegmentDecode(
+                rebased.packets, records, trailing_tnt, trailing_far,
+                cycles, True,
+            )
+
+        entry = _SegmentEntry(result, records, trailing_tnt, trailing_far)
+        self._store[key] = entry
+        if len(self._store) > self.entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+            if tel.enabled:
+                tel.metrics.counter("ipt.segment_cache.evictions").inc()
+        packets, records = entry.at_base(base)
+        return SegmentDecode(
+            packets, records, trailing_tnt, trailing_far, cycles, False,
+        )
+
+    def decode(self, segment, base: int = 0) -> FastDecodeResult:
+        """`fast_decode`-shaped interface for ``fast_decode_parallel``."""
+        seg = self.decode_segment(segment, base=base)
+        return FastDecodeResult(
+            seg.packets,
+            seg.cycles,
+            synced_offset=base,
+            truncated=seg.truncated,
+        )
+
+    def _hit_cycles(self, size: int) -> float:
+        return (
+            size * costs.SEGMENT_CACHE_HASH_CYCLES_PER_BYTE
+            + costs.SEGMENT_CACHE_PROBE_CYCLES
+        )

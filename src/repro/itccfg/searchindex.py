@@ -11,10 +11,12 @@ report realistic fast-path costs.
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro import costs
+from repro.telemetry import get_telemetry
 from repro.itccfg.credits import CreditLabeledITC, CreditLevel
 
 
@@ -29,10 +31,26 @@ class LookupResult:
 
 
 class FlowSearchIndex:
-    """Sorted-array search structure over a credit-labelled ITC-CFG."""
+    """Sorted-array search structure over a credit-labelled ITC-CFG.
 
-    def __init__(self, labeled: CreditLabeledITC) -> None:
+    ``edge_cache_entries`` > 0 additionally memoizes full
+    ``(src, dst, tnt)`` lookup verdicts in a bounded LRU: a memo hit is
+    a single hash probe (``EDGE_CACHE_PROBE_CYCLES``) instead of the
+    credit-cache probe plus binary searches.  :meth:`promote` mutates
+    edge state, so it invalidates every memo for the promoted edge.
+    """
+
+    def __init__(
+        self,
+        labeled: CreditLabeledITC,
+        edge_cache_entries: int = 0,
+    ) -> None:
         self.labeled = labeled
+        self.edge_cache_entries = edge_cache_entries
+        self._memo: "OrderedDict[Tuple[int, int, Tuple[bool, ...]], LookupResult]" = OrderedDict()
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_invalidations = 0
         succ: Dict[int, Set[int]] = {}
         for edge in labeled.itc.edges:
             succ.setdefault(edge.src, set()).add(edge.dst)
@@ -57,6 +75,20 @@ class FlowSearchIndex:
         patterns = self._hot.setdefault((src, dst), set())
         if tnt:
             patterns.add(tuple(tnt))
+        if self._memo:
+            stale = [
+                key for key in self._memo
+                if key[0] == src and key[1] == dst
+            ]
+            for key in stale:
+                del self._memo[key]
+            if stale:
+                self.memo_invalidations += len(stale)
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "itccfg.edge_cache.invalidations"
+                    ).inc(len(stale))
 
     # -- lookups ----------------------------------------------------------------
 
@@ -73,7 +105,49 @@ class FlowSearchIndex:
         """The §5.3 two-step check: source lookup, then target lookup.
 
         The hot cache is consulted first; a hit is a single hash probe.
+        With edge memoization enabled, a previously computed verdict for
+        the exact ``(src, dst, tnt)`` triple short-circuits everything
+        at one probe.
         """
+        if not self.edge_cache_entries:
+            return self._check_edge_uncached(src, dst, tnt)
+        key = (src, dst, tuple(tnt))
+        self.cycles += costs.EDGE_CACHE_PROBE_CYCLES
+        cached = self._memo.get(key)
+        tel = get_telemetry()
+        if cached is not None:
+            self._memo.move_to_end(key)
+            self.memo_hits += 1
+            if tel.enabled:
+                tel.metrics.counter("itccfg.edge_cache.hits").inc()
+            return LookupResult(
+                cached.in_graph, cached.credit, cached.tnt_ok, probes=1
+            )
+        self.memo_misses += 1
+        if tel.enabled:
+            tel.metrics.counter("itccfg.edge_cache.misses").inc()
+        result = self._check_edge_uncached(src, dst, tnt)
+        self._memo[key] = result
+        if len(self._memo) > self.edge_cache_entries:
+            self._memo.popitem(last=False)
+        return result
+
+    def edge_cache_stats(self) -> dict:
+        return {
+            "entries": self.edge_cache_entries,
+            "resident": len(self._memo),
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "invalidations": self.memo_invalidations,
+            "hit_rate": (
+                self.memo_hits / (self.memo_hits + self.memo_misses)
+                if (self.memo_hits + self.memo_misses) else 0.0
+            ),
+        }
+
+    def _check_edge_uncached(
+        self, src: int, dst: int, tnt: Tuple[bool, ...] = ()
+    ) -> LookupResult:
         probes = 1
         self.cycles += costs.CREDIT_CACHE_PROBE_CYCLES
         hot = self._hot.get((src, dst))

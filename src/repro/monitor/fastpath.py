@@ -18,8 +18,13 @@ from typing import List, Optional, Tuple
 
 from repro.binary.loader import Image
 from repro.telemetry import get_telemetry
-from repro.ipt.fast_decoder import TipRecord, fast_decode, sync_to_psb
-from repro.ipt.packets import DecodedPacket, PSB_PATTERN, PacketKind
+from repro.ipt.fast_decoder import (
+    SegmentDecode,
+    TipRecord,
+    fast_decode,
+    psb_offsets,
+)
+from repro.ipt.packets import DecodedPacket, PacketKind
 from repro.itccfg.credits import CreditLevel
 from repro.itccfg.paths import PathIndex
 from repro.itccfg.searchindex import FlowSearchIndex
@@ -74,6 +79,7 @@ class FastPathChecker:
         require_cross_module: bool = True,
         require_executable: bool = True,
         path_index: "PathIndex | None" = None,
+        segment_cache=None,
     ) -> None:
         self.index = index
         self.image = image
@@ -83,19 +89,12 @@ class FastPathChecker:
         self.require_executable = require_executable
         #: optional context-sensitive extension: trained k-gram paths.
         self.path_index = path_index
+        #: optional shared :class:`repro.ipt.SegmentDecodeCache`;
+        #: byte-identical PSB segments then decode once across checks
+        #: (and across checkers sharing the cache).
+        self.segment_cache = segment_cache
 
     # -- tail decoding -------------------------------------------------------
-
-    def _psb_offsets(self, data: bytes) -> List[int]:
-        offsets = []
-        pos = 0
-        while True:
-            pos = sync_to_psb(data, pos)
-            if pos < 0:
-                break
-            offsets.append(pos)
-            pos += len(PSB_PATTERN)
-        return offsets
 
     def decode_tail(self, data: bytes):
         """Decode backward-growing tail windows until requirements hold.
@@ -103,34 +102,59 @@ class FastPathChecker:
         Returns (records, packets, decode_cycles, start_offset).  Only
         the bytes actually decoded are charged — the §5.3 point that the
         whole ToPA buffer need not be decoded.
+
+        Each PSB segment decodes exactly once: the scan walks backward
+        from the buffer end, prepending one segment at a time until the
+        ``pkt_count``/module-span requirements hold.  (The previous form
+        re-ran ``fast_decode(data[start:])`` for every candidate start —
+        quadratic in the tail length.)  Segments decode independently
+        because PSBs reset IP compression; the dangling TNT bits and
+        far-transfer marker a segment ends with are stitched onto the
+        first TIP of the already-accumulated suffix.
         """
-        offsets = self._psb_offsets(data)
+        offsets = psb_offsets(data)
         if not offsets:
             return [], [], 0.0, len(data)
-
-        def rebased(result, start):
-            records = [
-                TipRecord(r.ip, r.tnt_before, r.offset + start,
-                          r.after_far)
-                for r in result.tip_records()
-            ]
-            packets = [
-                DecodedPacket(p.kind, p.offset + start, bits=p.bits,
-                              ip=p.ip)
-                for p in result.packets
-            ]
-            return records, packets
-
+        bounds = offsets + [len(data)]
+        view = memoryview(data)
+        records: List[TipRecord] = []
+        packets: List[DecodedPacket] = []
         cycles = 0.0
-        for start in reversed(offsets):
-            result = fast_decode(data[start:])
-            cycles = result.cycles
-            records, packets = rebased(result, start)
+        start = offsets[-1]
+        for index in range(len(offsets) - 1, -1, -1):
+            seg = self._decode_segment(view, offsets[index],
+                                       bounds[index + 1])
+            cycles += seg.cycles
+            if records and (seg.trailing_tnt or seg.trailing_far):
+                head = records[0]
+                records[0] = TipRecord(
+                    head.ip,
+                    seg.trailing_tnt + head.tnt_before,
+                    head.offset,
+                    head.after_far or seg.trailing_far,
+                )
+            records = seg.records + records
+            packets = seg.packets + packets
+            start = offsets[index]
             if len(records) > self.pkt_count and self._spans_modules(records):
-                return records, packets, cycles, start
-        result = fast_decode(data[offsets[0]:])
-        records, packets = rebased(result, offsets[0])
-        return records, packets, result.cycles, offsets[0]
+                break
+        return records, packets, cycles, start
+
+    def _decode_segment(self, view, begin: int, end: int) -> SegmentDecode:
+        """One PSB segment, rebased to the stream, via the cache if
+        one is attached."""
+        if self.segment_cache is not None:
+            return self.segment_cache.decode_segment(
+                view[begin:end], base=begin
+            )
+        result = fast_decode(view[begin:end]).rebased(begin)
+        records, trailing_tnt, trailing_far = (
+            result.tip_records_with_state()
+        )
+        return SegmentDecode(
+            result.packets, records, trailing_tnt, trailing_far,
+            result.cycles, result.truncated,
+        )
 
     def _spans_modules(self, records: List[TipRecord]) -> bool:
         if not (self.require_cross_module or self.require_executable):

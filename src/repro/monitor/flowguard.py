@@ -26,6 +26,7 @@ from repro.analysis.cfg import ControlFlowGraph
 from repro.ipt.encoder import IPTEncoder
 from repro.ipt.msr import IPTConfig
 from repro.ipt.topa import ToPA
+from repro.ipt.segment_cache import SegmentDecodeCache
 from repro.itccfg.credits import CreditLabeledITC
 from repro.itccfg.searchindex import FlowSearchIndex
 from repro.monitor.fastpath import FastPathChecker, FastPathResult, Verdict
@@ -116,6 +117,15 @@ class FlowGuardMonitor:
         #: subclasses (the fleet's per-process rings) override the
         #: paper's two-region 16 KiB default.
         self.topa_factory: Optional[Callable[[Callable[[], None]], ToPA]] = None
+        #: one content-addressed segment cache shared by every protected
+        #: process (None when the policy leaves it disabled): identical
+        #: PSB segments across snapshots — and across processes running
+        #: the same binaries — decode once.
+        self.segment_cache: Optional[SegmentDecodeCache] = (
+            SegmentDecodeCache(self.policy.segment_cache_entries)
+            if self.policy.segment_cache_entries > 0
+            else None
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -167,7 +177,9 @@ class FlowGuardMonitor:
             config, output=topa,
             current_cr3=lambda p=process: p.cr3,
         )
-        index = FlowSearchIndex(labeled)
+        index = FlowSearchIndex(
+            labeled, edge_cache_entries=self.policy.edge_cache_entries
+        )
         checker = FastPathChecker(
             index,
             process.image,
@@ -176,6 +188,7 @@ class FlowGuardMonitor:
             require_cross_module=self.policy.require_cross_module,
             require_executable=self.policy.require_executable,
             path_index=path_index if self.policy.path_sensitive else None,
+            segment_cache=self.segment_cache,
         )
         slow = SlowPathEngine(process.machine.memory, ocfg)
         pp = ProtectedProcess(
@@ -382,6 +395,35 @@ class FlowGuardMonitor:
         return [
             self.stats_for(pp.process) for pp in self._protected.values()
         ]
+
+    def cache_stats(self) -> dict:
+        """Fast-path cache effectiveness: the shared segment decode
+        cache plus the per-process edge-verdict memos aggregated
+        (None members when the policy leaves a cache disabled)."""
+        segment = (
+            self.segment_cache.stats()
+            if self.segment_cache is not None
+            else None
+        )
+        edge = None
+        if self.policy.edge_cache_entries:
+            hits = misses = invalidations = resident = 0
+            for pp in self._protected.values():
+                stats = pp.index.edge_cache_stats()
+                hits += stats["hits"]
+                misses += stats["misses"]
+                invalidations += stats["invalidations"]
+                resident += stats["resident"]
+            probes = hits + misses
+            edge = {
+                "entries": self.policy.edge_cache_entries,
+                "resident": resident,
+                "hits": hits,
+                "misses": misses,
+                "invalidations": invalidations,
+                "hit_rate": hits / probes if probes else 0.0,
+            }
+        return {"segment": segment, "edge": edge}
 
     def report(self) -> dict:
         """A JSON-compatible operational report across all protected

@@ -47,6 +47,12 @@ class FlowGuardPolicy:
     #: default.  Finer periods trade trace bytes for smaller decode
     #: windows per check.
     psb_period: int = 0  # 0 = hardware default
+    #: content-addressed segment decode cache capacity (entries); 0
+    #: disables it.  Shared across every process the monitor protects,
+    #: so byte-identical PSB segments decode once per fleet.
+    segment_cache_entries: int = 0
+    #: per-index (src, dst, tnt) verdict memo capacity; 0 disables it.
+    edge_cache_entries: int = 0
 
     def with_endpoints(self, *extra: int) -> "FlowGuardPolicy":
         """A copy with additional user-specified endpoints."""
@@ -60,4 +66,6 @@ class FlowGuardPolicy:
             cache_slow_path_negatives=self.cache_slow_path_negatives,
             path_sensitive=self.path_sensitive,
             psb_period=self.psb_period,
+            segment_cache_entries=self.segment_cache_entries,
+            edge_cache_entries=self.edge_cache_entries,
         )
