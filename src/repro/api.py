@@ -1,0 +1,183 @@
+"""repro.api — the stable public surface of the FlowGuard reproduction.
+
+Everything an integrator needs lives here, imported from its canonical
+submodule home::
+
+    from repro.api import (
+        Fleet, FleetConfig, FaultPlan, FlowGuardPolicy, Monitor,
+        RetryPolicy, RingPolicy, RunConfig, run_workload,
+    )
+
+    # Solo: one protected server, optionally under fault injection.
+    run = run_workload("nginx", sessions=4,
+                       faults=FaultPlan.standard_mix(seed=7))
+    print(run.overhead, run.monitor.degradations.counts())
+
+    # Fleet: N processes / M checker workers, one config tree.
+    config = RunConfig(
+        policy=FlowGuardPolicy(segment_cache_entries=512),
+        fleet=FleetConfig(workers=4, ring_policy=RingPolicy.LOSSY,
+                          faults=FaultPlan.standard_mix(seed=7),
+                          retry=RetryPolicy(task_timeout=20_000.0)),
+    )
+    service = Fleet.build(config)
+    ...
+    result = service.run()
+    payload = result.to_dict()          # versioned StatsReport schema
+
+Importing names from the ``repro.monitor`` / ``repro.fleet`` package
+roots still works but is deprecated (each access emits a
+``DeprecationWarning``); deep submodule imports remain supported for
+internals not re-exported here.  This module itself imports cleanly
+under ``-W error::DeprecationWarning`` — the CI check that keeps the
+facade honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fleet.rings import RingPolicy
+from repro.fleet.service import FleetConfig, FleetResult, FleetService
+from repro.monitor.fastpath import Verdict
+from repro.monitor.flowguard import FlowGuardMonitor
+from repro.monitor.policy import FlowGuardPolicy
+from repro.osmodel.kernel import Kernel
+from repro.pipeline import FlowGuardPipeline
+from repro.resilience import (
+    FaultPlan,
+    FaultSite,
+    InjectedFault,
+    RetryPolicy,
+)
+from repro.stats_report import SCHEMA_VERSION, StatsReport
+
+__all__ = [
+    "FaultPlan",
+    "FaultSite",
+    "Fleet",
+    "FleetConfig",
+    "FleetResult",
+    "FleetService",
+    "FlowGuardMonitor",
+    "FlowGuardPipeline",
+    "FlowGuardPolicy",
+    "InjectedFault",
+    "Kernel",
+    "Monitor",
+    "RetryPolicy",
+    "RingPolicy",
+    "RunConfig",
+    "SCHEMA_VERSION",
+    "StatsReport",
+    "Verdict",
+    "run_workload",
+]
+
+
+@dataclass
+class RunConfig:
+    """The one config tree: checking policy + fleet shape + resilience.
+
+    :class:`FlowGuardPolicy` (what the checker enforces),
+    :class:`FleetConfig` (how the fleet is shaped — which itself embeds
+    the :class:`FaultPlan` and :class:`RetryPolicy`) compose here and
+    round-trip through :meth:`to_dict`/:meth:`from_dict`, so one JSON
+    document can describe an entire reproducible run.
+    """
+
+    policy: FlowGuardPolicy = field(default_factory=FlowGuardPolicy)
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        return self.fleet.faults
+
+    @property
+    def retry(self) -> Optional[RetryPolicy]:
+        return self.fleet.retry
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy.to_dict(),
+            "fleet": self.fleet.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        unknown = set(data) - {"policy", "fleet"}
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            policy=FlowGuardPolicy.from_dict(data.get("policy") or {}),
+            fleet=FleetConfig.from_dict(data.get("fleet") or {}),
+        )
+
+
+class Monitor:
+    """Builder facade for the solo (synchronous-verdict) monitor."""
+
+    @staticmethod
+    def build(
+        policy: Optional[FlowGuardPolicy] = None,
+        kernel: Optional[Kernel] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> FlowGuardMonitor:
+        """An installed :class:`FlowGuardMonitor` on a (new) kernel.
+
+        The returned monitor has its syscall-table hooks in place;
+        protect processes with ``monitor.protect(...)`` or deploy a
+        :class:`FlowGuardPipeline` against ``monitor.kernel``.
+        """
+        monitor = FlowGuardMonitor(
+            kernel if kernel is not None else Kernel(),
+            policy=policy,
+            faults=faults,
+        )
+        monitor.install()
+        return monitor
+
+
+class Fleet:
+    """Builder facade for the multi-process fleet service."""
+
+    @staticmethod
+    def build(
+        config: Optional[RunConfig | FleetConfig] = None,
+        kernel: Optional[Kernel] = None,
+    ) -> FleetService:
+        """A :class:`FleetService` from a :class:`RunConfig` (policy +
+        fleet shape) or a bare :class:`FleetConfig` (default policy)."""
+        if isinstance(config, RunConfig):
+            return FleetService(
+                config=config.fleet, kernel=kernel, policy=config.policy
+            )
+        return FleetService(config=config, kernel=kernel)
+
+
+def run_workload(
+    server: str,
+    sessions: int = 4,
+    protected: bool = True,
+    policy: Optional[FlowGuardPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+):
+    """Run one server workload end to end; returns the ``ServerRun``
+    (process, cycles, monitor, stats).
+
+    The convenience entry point for "protect this server and tell me
+    the overhead": offline pipeline, deployment, client sessions and
+    the run itself are all handled.
+    """
+    from repro.experiments.common import run_server, server_requests
+
+    return run_server(
+        server,
+        server_requests(server, sessions),
+        protected=protected,
+        policy=policy,
+        faults=faults,
+    )

@@ -14,19 +14,26 @@ Commands:
 - ``disasm <server|utility|spec-name>`` — dump a workload's entry
   function as assembly text.
 - ``stats <server> [-n N] [--segment-cache N] [--edge-cache N]
-  [--trace-out F] [--spans-out F]`` — run a protected server with
-  telemetry enabled and dump the metrics snapshot (JSON), reconciled
-  against the monitor's cycle accounting; the cache flags enable the
-  fast-path decode/verdict caches and report their hit rates.
+  [--faults PLAN] [--fault-seed N] [--trace-out F] [--spans-out F]`` —
+  run a protected server with telemetry enabled and dump the
+  versioned :class:`~repro.stats_report.StatsReport` (JSON),
+  reconciled against the monitor's cycle accounting; the cache flags
+  enable the fast-path decode/verdict caches and report their hit
+  rates.
 - ``fleet [--processes N] [--workers M] [--policy stall|lossy]
-  [--segment-cache N] [--edge-cache N]`` —
+  [--segment-cache N] [--edge-cache N] [--faults PLAN]
+  [--fault-seed N]`` —
   time-slice N protected server processes against M checker workers,
   optionally injecting a ROP attack into one of them
   (``--inject-rop``); exits non-zero if the cycle ledger drifts or an
   injected attack goes unquarantined.
 
-``experiments`` and ``serve`` also accept ``--trace-out FILE`` to
-capture the run as a Chrome ``chrome://tracing`` trace-event file.
+Shared option groups (implemented as argparse parent parsers, defined
+once): the cache flags, the fault-injection flags (``--faults`` loads a
+JSON :class:`~repro.resilience.FaultPlan`; ``--fault-seed`` reseeds it,
+or arms the standard mix when no plan file is given), and the trace
+exports (``--trace-out`` writes a Chrome ``chrome://tracing``
+trace-event file, ``--spans-out`` raw JSON-lines spans).
 """
 
 from __future__ import annotations
@@ -197,40 +204,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _faults_from_args(args: argparse.Namespace):
+    """The fault plan the shared ``--faults``/``--fault-seed`` flags
+    describe: a JSON plan file, optionally reseeded — or the standard
+    mix when only a seed is given.  None = fault-free."""
+    plan = None
+    if getattr(args, "faults", None):
+        from repro.api import FaultPlan
+
+        plan = FaultPlan.load(args.faults)
+        if args.fault_seed is not None:
+            plan = plan.with_seed(args.fault_seed)
+    elif getattr(args, "fault_seed", None) is not None:
+        from repro.api import FaultPlan
+
+        plan = FaultPlan.standard_mix(seed=args.fault_seed)
+    return plan
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run a protected server under full telemetry and dump the
-    snapshot, reconciling the cycle profiler against MonitorStats."""
+    StatsReport, reconciling the cycle profiler against MonitorStats."""
     from repro import telemetry
-    from repro.experiments.common import run_server, server_requests
+    from repro.api import FlowGuardPolicy, StatsReport, run_workload
 
     policy = None
     if args.segment_cache or args.edge_cache:
-        from repro.monitor.policy import FlowGuardPolicy
-
         policy = FlowGuardPolicy(
             segment_cache_entries=args.segment_cache,
             edge_cache_entries=args.edge_cache,
         )
+    faults = _faults_from_args(args)
     tel = telemetry.get_telemetry()
     tel.reset()
     tel.enable()
     try:
-        run = run_server(
+        run = run_workload(
             args.server,
-            server_requests(args.server, args.sessions),
+            sessions=args.sessions,
             protected=True,
             policy=policy,
+            faults=faults,
         )
         assert run.monitor is not None and run.stats is not None
         reconciliation = tel.profiler.reconcile(run.monitor.all_stats())
-        payload = {
-            "server": args.server,
-            "sessions": args.sessions,
-            "monitor": run.monitor.report(),
-            "caches": run.monitor.cache_stats(),
-            "telemetry": tel.snapshot(),
-            "reconciliation": reconciliation,
-        }
+        payload = StatsReport.from_monitor(
+            run.monitor,
+            reconciliation=reconciliation,
+            telemetry=tel.snapshot(),
+            server=args.server,
+            sessions=args.sessions,
+        ).to_dict()
         _export_trace(tel.tracer, args)
     finally:
         tel.disable()
@@ -246,6 +270,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if not reconciliation["exact"]:
         print("cycle accounting does NOT reconcile", file=sys.stderr)
         return 1
+    resilience = payload["resilience"]
+    if resilience is not None:
+        ledger = resilience.get("ledger_reconcile")
+        if ledger is not None and not ledger["exact"]:
+            print("degradation ledger does NOT reconcile",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -253,10 +284,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     """Run a multi-process fleet under one monitor (see repro.fleet)."""
     import random
 
+    from repro.api import Fleet, FleetConfig, RingPolicy
     from repro.experiments.common import (
         seed_server_fs, server_pipeline, server_requests,
     )
-    from repro.fleet import FleetConfig, FleetService, RingPolicy
 
     servers = args.servers or ["nginx", "exim"]
     config = FleetConfig(
@@ -269,8 +300,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         segment_cache_entries=args.segment_cache,
         edge_cache_entries=args.edge_cache,
         seed=args.seed,
+        faults=_faults_from_args(args),
     )
-    service = FleetService(config)
+    service = Fleet.build(config)
     seed_server_fs(service.kernel)
 
     assignment = [servers[i % len(servers)]
@@ -334,12 +366,29 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 print(f"  {name} cache: {cache['hits']} hits / "
                       f"{cache['misses']} misses "
                       f"({cache['hit_rate']:.1%} hit rate)")
+    resilience = result.resilience or {}
+    if resilience.get("faults") is not None:
+        fired = resilience["faults"]["fired"]
+        active = {k: v for k, v in fired.items() if v}
+        counts = resilience["degradations"]["counts"]
+        print(f"  faults: "
+              f"{', '.join(f'{k}={v}' for k, v in active.items()) or 'none fired'}")
+        print(f"  degradations: "
+              f"{', '.join(f'{k}={v}' for k, v in sorted(counts.items())) or 'none'}")
+        print(f"  dead letters: {resilience['dead_letters']}  "
+              f"ledger reconcile: "
+              f"{'exact' if resilience['ledger_reconcile']['exact'] else 'DRIFT'}")
     if args.json:
         json.dump(result.to_dict(), sys.stdout, indent=2, default=str)
         print()
 
     if not result.accounting["exact"]:
         print("fleet cycle ledger does NOT reconcile with MonitorStats",
+              file=sys.stderr)
+        return 1
+    ledger = resilience.get("ledger_reconcile")
+    if ledger is not None and not ledger["exact"]:
+        print("degradation ledger does NOT reconcile with telemetry",
               file=sys.stderr)
         return 1
     if attacked_pid is not None and \
@@ -411,15 +460,43 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_trace_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _trace_parent() -> argparse.ArgumentParser:
+    """Shared ``--trace-out``/``--spans-out`` flags (parent parser)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="write a Chrome trace-event JSON of this run",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--spans-out", default=None, metavar="FILE",
         help="write the raw spans as JSON-lines",
     )
+    return parent
+
+
+def _cache_parent() -> argparse.ArgumentParser:
+    """Shared fast-path cache flags (parent parser)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--segment-cache", type=int, default=0,
+                        metavar="N",
+                        help="segment decode cache entries (0 = off)")
+    parent.add_argument("--edge-cache", type=int, default=0, metavar="N",
+                        help="edge-verdict memo entries (0 = off)")
+    return parent
+
+
+def _fault_parent() -> argparse.ArgumentParser:
+    """Shared fault-injection flags (parent parser)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="arm a deterministic FaultPlan loaded from a JSON file",
+    )
+    parent.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="reseed the fault plan (alone: arm the standard mix)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -431,13 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    trace = _trace_parent()
+    caches = _cache_parent()
+    faults = _fault_parent()
 
     experiments = sub.add_parser(
-        "experiments", help="regenerate paper tables/figures"
+        "experiments", help="regenerate paper tables/figures",
+        parents=[trace],
     )
     experiments.add_argument("names", nargs="*",
                              help="subset of experiments (default all)")
-    _add_trace_options(experiments)
     experiments.set_defaults(func=_cmd_experiments)
 
     attack = sub.add_parser("attack", help="run one attack demo")
@@ -445,32 +525,28 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["rop", "srop", "retlib", "flushing"])
     attack.set_defaults(func=_cmd_attack)
 
-    serve = sub.add_parser("serve", help="drive a protected server")
+    serve = sub.add_parser("serve", help="drive a protected server",
+                           parents=[trace])
     serve.add_argument("server",
                        choices=["nginx", "vsftpd", "openssh", "exim"])
     serve.add_argument("-n", "--sessions", type=int, default=8)
     serve.add_argument("--unprotected", action="store_true")
-    _add_trace_options(serve)
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser(
         "stats",
-        help="run a protected server under telemetry, dump the snapshot",
+        help="run a protected server under telemetry, dump the report",
+        parents=[caches, faults, trace],
     )
     stats.add_argument("server",
                        choices=["nginx", "vsftpd", "openssh", "exim"])
     stats.add_argument("-n", "--sessions", type=int, default=4)
-    stats.add_argument("--segment-cache", type=int, default=0,
-                       metavar="N",
-                       help="segment decode cache entries (0 = off)")
-    stats.add_argument("--edge-cache", type=int, default=0, metavar="N",
-                       help="edge-verdict memo entries (0 = off)")
-    _add_trace_options(stats)
     stats.set_defaults(func=_cmd_stats)
 
     fleet = sub.add_parser(
         "fleet",
         help="time-slice N protected processes over M checker workers",
+        parents=[caches, faults],
     )
     fleet.add_argument("-p", "--processes", type=int, default=8)
     fleet.add_argument("-w", "--workers", type=int, default=4)
@@ -486,13 +562,6 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--decode-mode",
                        choices=["simulated", "threads"],
                        default="simulated")
-    fleet.add_argument("--segment-cache", type=int, default=0,
-                       metavar="N",
-                       help="shared segment decode cache entries "
-                            "(0 = off)")
-    fleet.add_argument("--edge-cache", type=int, default=0, metavar="N",
-                       help="per-process edge-verdict memo entries "
-                            "(0 = off)")
     fleet.add_argument("-n", "--sessions", type=int, default=2,
                        help="client sessions per process")
     fleet.add_argument("--servers", nargs="*", default=None,

@@ -155,14 +155,20 @@ def run_server(
     protected: bool,
     policy: Optional[FlowGuardPolicy] = None,
     max_steps: int = 40_000_000,
+    faults=None,
 ) -> ServerRun:
-    """Run one server over a batch of connections."""
+    """Run one server over a batch of connections.
+
+    ``faults`` optionally arms a :class:`~repro.resilience.FaultPlan`
+    on the protecting monitor (ignored for unprotected runs).
+    """
     tel = telemetry.get_telemetry()
     pipeline = server_pipeline(name)
     kernel = Kernel()
     seed_server_fs(kernel)
     if protected:
-        monitor, proc = pipeline.deploy(kernel, policy=policy)
+        monitor, proc = pipeline.deploy(kernel, policy=policy,
+                                        faults=faults)
     else:
         monitor, proc = None, pipeline.spawn_unprotected(kernel)
     for request in requests:

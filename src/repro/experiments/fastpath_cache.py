@@ -31,7 +31,8 @@ from repro.experiments.common import (
     server_pipeline,
     server_requests,
 )
-from repro.fleet import FleetConfig, FleetService, RingPolicy
+from repro.fleet.rings import RingPolicy
+from repro.fleet.service import FleetConfig, FleetService
 from repro.ipt.segment_cache import SegmentDecodeCache
 from repro.itccfg.searchindex import FlowSearchIndex
 from repro.monitor.fastpath import FastPathChecker

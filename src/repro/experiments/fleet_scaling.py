@@ -29,7 +29,8 @@ from repro.experiments.common import (
     server_pipeline,
     server_requests,
 )
-from repro.fleet import FleetConfig, FleetService, RingPolicy
+from repro.fleet.rings import RingPolicy
+from repro.fleet.service import FleetConfig, FleetService
 
 #: the two concurrently-served workloads (ISSUE: "two different server
 #: workloads"); alternated across fleet slots.
@@ -45,12 +46,16 @@ def build_fleet(
     max_queue_depth: int = 1_000_000,
     servers: Sequence[str] = FLEET_SERVERS,
     seed: int = 0,
+    faults=None,
+    retry=None,
 ) -> FleetService:
     """A fleet with the standard alternating server mix.
 
     Lag sweeps default to lossy rings and an unbounded queue so the
     submitted work is *identical* across worker counts — stall-mode
     feedback would change the schedule itself and confound the sweep.
+    ``faults``/``retry`` arm the resilience plane (see
+    :mod:`repro.experiments.resilience`).
     """
     config = FleetConfig(
         workers=workers,
@@ -58,6 +63,8 @@ def build_fleet(
         ring_policy=policy,
         max_queue_depth=max_queue_depth,
         seed=seed,
+        faults=faults,
+        retry=retry,
     )
     service = FleetService(config)
     seed_server_fs(service.kernel)

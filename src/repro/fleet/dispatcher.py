@@ -31,6 +31,9 @@ from typing import List, Optional
 
 from repro import costs
 from repro.ipt.fast_decoder import psb_boundaries
+from repro.resilience.faults import FaultInjector
+from repro.resilience.ledger import DegradationLedger
+from repro.resilience.retry import DeadLetter, RetryPolicy
 from repro.telemetry import get_telemetry
 
 from repro.fleet.rings import ProcessRing, RingPolicy
@@ -82,10 +85,19 @@ class FleetDispatcher:
         pool: SimulatedWorkerPool,
         policy: RingPolicy = RingPolicy.STALL,
         max_queue_depth: int = 64,
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        degradations: Optional[DegradationLedger] = None,
     ) -> None:
         self.pool = pool
         self.policy = policy
         self.max_queue_depth = max_queue_depth
+        #: retry/backoff/dead-letter policy for failed worker attempts.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: fault plane shared with the monitor (None = fault-free).
+        self.injector = injector
+        #: degradation audit trail shared with the monitor.
+        self.degradations = degradations
         self.monitor = None  # bound by the service (FleetMonitor)
         #: optional ThreadedSliceDecoder: re-decodes each submission on
         #: a real thread pool (execution backend only; no accounting).
@@ -94,10 +106,17 @@ class FleetDispatcher:
         #: tasks whose verdict has not yet taken effect, by finish time.
         self._pending: List[CheckTask] = []
         self.quarantines: List[QuarantineEvent] = []
+        self.dead_letters: List[DeadLetter] = []
         self.dropped_checks: int = 0
         #: endpoint-interception cycles spent on the protected core (not
         #: on a worker) — the reconciliation remainder.
         self.intercept_cycles: float = 0.0
+        #: pool cycles wasted by failed attempts (crash/hang/timeout):
+        #: in ``busy_cycles`` but charged to no process's MonitorStats.
+        self.retry_cycles: float = 0.0
+        #: the dual hole: dead-lettered checks were costed eagerly into
+        #: MonitorStats at submit() but never ran on any worker.
+        self.dead_letter_cycles: float = 0.0
         self._next_task_id = 0
 
     # -- binding -------------------------------------------------------------
@@ -152,6 +171,7 @@ class FleetDispatcher:
             stats.check_cycles,
             stats.other_cycles,
         )
+        slow_before = stats.slow_path_runs
         verdict = self.monitor._run_check(pp, nr)
         if self.real_decoder is not None and data:
             self.real_decoder.decode(data, sync=resynced)
@@ -172,9 +192,17 @@ class FleetDispatcher:
             serial_cycles=check_delta + (other_delta - intercept),
             verdict=verdict.value,
             resynced=resynced,
+            # A check that upcalled into the slow path (fallback or
+            # suspicion) costs orders of magnitude more than a clean
+            # fast-path check — the pool serializes it onto the
+            # degraded lane so healthy checks never queue behind it.
+            # Cheap degradations (drain re-reads, PSB re-syncs) stay
+            # on the normal spread: their cost is a small multiple of
+            # a clean check.
+            degraded=stats.slow_path_runs > slow_before,
         )
         self._next_task_id += 1
-        self.pool.dispatch(task)
+        self._dispatch_with_recovery(task)
         self.tasks.append(task)
         self._pending.append(task)
         tel = get_telemetry()
@@ -185,6 +213,115 @@ class FleetDispatcher:
             m.gauge("fleet.queue_depth").set(self.queue_depth(now))
         return task
 
+    def _dispatch_with_recovery(self, task: CheckTask) -> float:
+        """Schedule a task on the pool, surviving worker faults.
+
+        Fault-free this is exactly ``pool.dispatch(task)``.  Under
+        injection, each attempt may crash (burning ``crash_fraction`` of
+        the task's cost), hang (burning ``task_timeout`` when the policy
+        sets one, else the plan's ``hang_cycles``), and is then retried
+        after an exact exponential backoff —
+        ``delay(n) = min(cap, base * factor**(n-1))`` — up to
+        ``max_attempts`` total attempts.  A check that exhausts them is
+        dead-lettered: recorded, never silently dropped, and handled
+        fail-closed by the scheduler when the policy says so.
+        """
+        inj = self.injector
+        if inj is None:
+            return self.pool.dispatch(task)
+        policy = self.retry
+        tel = get_telemetry()
+        not_before = task.enqueued_at
+        history: List[str] = []
+        for attempt in range(1, policy.max_attempts + 1):
+            task.attempts = attempt
+            fault = inj.worker_fault()
+            if fault is None:
+                return self.pool.dispatch(task, not_before=not_before)
+            if fault == "crash":
+                kind = "worker-crash"
+                wasted = task.cost * inj.plan.crash_fraction
+            elif policy.task_timeout > 0:
+                # The watchdog cancels the wedged attempt at the timeout.
+                kind = "task-timeout"
+                wasted = policy.task_timeout
+            else:
+                kind = "worker-hang"
+                wasted = inj.plan.hang_cycles
+            if policy.task_timeout > 0:
+                wasted = min(wasted, policy.task_timeout)
+            history.append(kind)
+            # Hung/timed-out attempts wedge the degraded lane, not a
+            # healthy worker — the watchdog will cancel them anyway.
+            # A crash is detected immediately and burns only a
+            # fraction of the task's cost, wherever it ran.
+            failed_at = self.pool.burn(
+                not_before, wasted, lane=(fault != "crash")
+            )
+            self.retry_cycles += wasted
+            if self.degradations is not None:
+                self.degradations.record(
+                    kind, pid=task.pid,
+                    detail=f"task={task.task_id} attempt={attempt}",
+                    at=failed_at, cycles=wasted,
+                )
+            if attempt < policy.max_attempts:
+                hedged = (
+                    kind != "worker-crash" and policy.hedge_delay > 0
+                )
+                if hedged:
+                    # Tail-latency hedge: a wedged attempt is re-issued
+                    # a short delay after dispatch instead of waiting
+                    # out the watchdog.  The burn above still accrues —
+                    # hedging spends spare capacity, it hides nothing.
+                    delay = policy.hedge_delay
+                    not_before = not_before + delay
+                else:
+                    delay = policy.delay(attempt)
+                    not_before = failed_at + delay
+                if self.degradations is not None:
+                    self.degradations.record(
+                        "hedge" if hedged else "retry", pid=task.pid,
+                        detail=f"task={task.task_id} "
+                               f"attempt={attempt + 1} delay={delay:g}",
+                        at=not_before,
+                    )
+                if tel.enabled:
+                    m = tel.metrics
+                    m.counter(
+                        "resilience.hedges" if hedged
+                        else "resilience.retries"
+                    ).inc(kind=kind)
+                    m.counter("resilience.backoff_cycles").inc(delay)
+            else:
+                task.dead_lettered = True
+                task.started_at = task.enqueued_at
+                task.finished_at = failed_at
+                # submit() charged the verdict's cost to MonitorStats
+                # eagerly, but no attempt ever ran it on the pool.
+                self.dead_letter_cycles += task.cost
+                letter = DeadLetter(
+                    task_id=task.task_id,
+                    pid=task.pid,
+                    kind=kind,
+                    attempts=attempt,
+                    last_fault=",".join(history),
+                    at=failed_at,
+                )
+                self.dead_letters.append(letter)
+                if self.degradations is not None:
+                    self.degradations.record(
+                        "dead-letter", pid=task.pid,
+                        detail=f"task={task.task_id} after {attempt} "
+                               f"attempts ({letter.last_fault})",
+                        at=failed_at,
+                    )
+                if tel.enabled:
+                    tel.metrics.counter("resilience.dead_letters").inc(
+                        kind=kind
+                    )
+        return task.finished_at
+
     def drop_drain(self, ring: ProcessRing) -> None:
         """Lossy backpressure: skip a PMI drain check entirely.
 
@@ -192,9 +329,16 @@ class FleetDispatcher:
         tracing continues from a clean buffer."""
         ring.drain()
         self.dropped_checks += 1
+        if self.degradations is not None:
+            # Audited like every other downgrade (and thereby mirrored
+            # into the resilience.events counter).
+            self.degradations.record("drop-drain")
         tel = get_telemetry()
         if tel.enabled:
             tel.metrics.counter("fleet.dropped_checks").inc()
+            # Symmetric with resilience.retries / resilience.dead_letters:
+            # every recovery-plane outcome has a resilience.* counter.
+            tel.metrics.counter("resilience.drops").inc(kind="pmi-drain")
 
     # -- verdict application -------------------------------------------------
 
@@ -214,7 +358,12 @@ class FleetDispatcher:
         return max(task.finished_at for task in self._pending)
 
     def record_quarantine(
-        self, pp, task: CheckTask, now: float, posthumous: bool
+        self,
+        pp,
+        task: CheckTask,
+        now: float,
+        posthumous: bool,
+        reason: Optional[str] = None,
     ) -> QuarantineEvent:
         event = QuarantineEvent(
             pid=pp.process.pid,
@@ -222,14 +371,24 @@ class FleetDispatcher:
             task_id=task.task_id,
             detected_at=now,
             enqueued_at=task.enqueued_at,
-            reason=self._reason_for(pp.process.pid),
+            reason=(
+                reason if reason is not None
+                else self._reason_for(pp.process.pid)
+            ),
             posthumous=posthumous,
         )
         self.quarantines.append(event)
+        if self.degradations is not None:
+            self.degradations.record(
+                "quarantine", pid=event.pid, detail=event.reason, at=now
+            )
         tel = get_telemetry()
         if tel.enabled:
             tel.metrics.counter("fleet.quarantines").inc(
                 program=pp.process.name
+            )
+            tel.metrics.counter("resilience.quarantines").inc(
+                kind="dead-letter" if task.dead_lettered else "violation"
             )
         return event
 
@@ -243,8 +402,14 @@ class FleetDispatcher:
     # -- accounting ----------------------------------------------------------
 
     def ledger(self) -> dict:
-        """The worker/interception cycle ledger for reconciliation."""
+        """The worker/interception cycle ledger for reconciliation:
+        ``busy - retry + intercept + dead_letter`` must equal the
+        summed per-process MonitorStats cycles exactly (retry cycles
+        are busy time no stats saw; dead-letter cycles are stats time
+        no worker saw)."""
         return {
             "busy_cycles": self.pool.busy_total,
             "intercept_cycles": self.intercept_cycles,
+            "retry_cycles": self.retry_cycles,
+            "dead_letter_cycles": self.dead_letter_cycles,
         }

@@ -43,8 +43,9 @@ class FleetMonitor(FlowGuardMonitor):
         ring_policy: RingPolicy = RingPolicy.STALL,
         ring_bytes: int = 16384,
         policy=None,
+        faults=None,
     ) -> None:
-        super().__init__(kernel, policy=policy)
+        super().__init__(kernel, policy=policy, faults=faults)
         self.dispatcher = dispatcher
         self.clock = clock
         self.ring_policy = ring_policy
@@ -76,10 +77,24 @@ class FleetMonitor(FlowGuardMonitor):
     # -- event routing -------------------------------------------------------
 
     def _on_pmi(self, pp: ProtectedProcess) -> None:
+        ring = self.rings.get(pp.process.pid)
+        inj = self.fault_injector
+        if inj is not None:
+            if inj.fire("drop_pmi"):
+                # Swallowed interrupt: the ring keeps filling and wraps
+                # (drop-oldest); the next drain detects the loss and
+                # forces a PSB re-sync — the designed degradation.
+                self.degradations.record("pmi-drop", pid=pp.process.pid)
+                return
+            if ring is not None and inj.fire("delay_pmi"):
+                # Interrupt skid beyond the usual: delivery is deferred
+                # to the process's next scheduling quantum.
+                self.degradations.record("pmi-delay", pid=pp.process.pid)
+                ring.delayed_pmi = True
+                return
         pp.stats.pmi_count += 1
         if self._telemetry.enabled:
             self._telemetry.metrics.counter("monitor.pmi").inc()
-        ring = self.rings.get(pp.process.pid)
         if ring is not None:
             ring.on_pmi()
 

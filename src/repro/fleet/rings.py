@@ -80,6 +80,9 @@ class ProcessRing:
     #: set by the PMI in stall mode; the scheduler converts it into a
     #: stalled process + a drain task.
     stall_requested: bool = False
+    #: an injected delay deferred a PMI: the scheduler delivers it at
+    #: the start of the process's next quantum.
+    delayed_pmi: bool = False
     #: set by the PMI in lossy mode; the scheduler drains at the next
     #: quantum boundary without pausing the process.
     drain_requested: bool = False

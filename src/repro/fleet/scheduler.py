@@ -168,6 +168,15 @@ class RoundRobinScheduler:
         if entry.quanta == 0:
             entry.started_at = self.clock.now
         entry.quanta += 1
+        if entry.ring.delayed_pmi:
+            # An injected-delay PMI lands at the quantum boundary: the
+            # ring-full handling runs now, one scheduling slot late.
+            entry.ring.delayed_pmi = False
+            entry.pp.stats.pmi_count += 1
+            tel_late = get_telemetry()
+            if tel_late.enabled:
+                tel_late.metrics.counter("monitor.pmi").inc()
+            entry.ring.on_pmi()
         start_cycles = proc.executor.cycles
         outcome = StepOutcome.BUDGET
         self.clock.pin(proc.executor)
@@ -252,14 +261,31 @@ class RoundRobinScheduler:
 
     def _apply_due_verdicts(self) -> None:
         for task in self.dispatcher.due_tasks(self.clock.now):
+            entry = self._by_pid.get(task.pid)
+            if task.dead_lettered:
+                # The check could never be verified.  Fail closed when
+                # the policy says so: an unverifiable window is treated
+                # like a violation (quarantine), never like a pass.
+                if (
+                    self.dispatcher.retry.dead_letter_quarantine
+                    and entry is not None
+                    and not entry.quarantined
+                ):
+                    self._quarantine(
+                        entry, task,
+                        reason=(
+                            f"dead-letter: check #{task.task_id} "
+                            f"unverifiable after {task.attempts} attempts"
+                        ),
+                    )
+                continue
             if task.verdict != "violation":
                 continue
-            entry = self._by_pid.get(task.pid)
             if entry is None or entry.quarantined:
                 continue
             self._quarantine(entry, task)
 
-    def _quarantine(self, entry: FleetEntry, task) -> None:
+    def _quarantine(self, entry: FleetEntry, task, reason=None) -> None:
         """Kill + isolate the violator; the fleet keeps running."""
         posthumous = not entry.proc.alive
         entry.quarantined = True
@@ -276,7 +302,7 @@ class RoundRobinScheduler:
         except ValueError:  # pragma: no cover - already detached
             pass
         self.dispatcher.record_quarantine(
-            entry.pp, task, self.clock.now, posthumous
+            entry.pp, task, self.clock.now, posthumous, reason=reason
         )
 
     # -- wind-down -----------------------------------------------------------

@@ -19,12 +19,14 @@ with the summed per-process ``MonitorStats`` (the invariant
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence
 
 from repro.monitor.policy import FlowGuardPolicy
 from repro.osmodel.kernel import Kernel
 from repro.osmodel.process import Process
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import DeadLetter, RetryPolicy
 from repro.telemetry import get_telemetry
 
 from repro.fleet.dispatcher import FleetDispatcher, QuarantineEvent
@@ -65,6 +67,46 @@ class FleetConfig:
     segment_cache_entries: int = 0
     edge_cache_entries: int = 0
     seed: int = 0
+    #: deterministic fault plan (None = fault-free run).
+    faults: Optional[FaultPlan] = None
+    #: retry/backoff/dead-letter policy (None = defaults).
+    retry: Optional[RetryPolicy] = None
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["ring_policy"] = self.ring_policy.value
+        out["faults"] = (
+            self.faults.to_dict() if self.faults is not None else None
+        )
+        out["retry"] = (
+            self.retry.to_dict() if self.retry is not None else None
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FleetConfig keys: {', '.join(sorted(unknown))}"
+            )
+        kwargs = dict(data)
+        if "ring_policy" in kwargs and not isinstance(
+            kwargs["ring_policy"], RingPolicy
+        ):
+            kwargs["ring_policy"] = RingPolicy(kwargs["ring_policy"])
+        if kwargs.get("faults") is not None and not isinstance(
+            kwargs["faults"], FaultPlan
+        ):
+            kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
+        if kwargs.get("retry") is not None and not isinstance(
+            kwargs["retry"], RetryPolicy
+        ):
+            kwargs["retry"] = RetryPolicy.from_dict(kwargs["retry"])
+        return cls(**kwargs)
 
 
 @dataclass
@@ -90,6 +132,10 @@ class FleetResult:
     threaded_decode: Optional[dict] = None
     #: monitor.cache_stats() snapshot (segment + edge caches).
     caches: Optional[dict] = None
+    #: checks abandoned after exhausting retries (fail-closed handled).
+    dead_letters: Optional[List[DeadLetter]] = None
+    #: fault-plane stats + degradation ledger + its reconciliation.
+    resilience: Optional[dict] = None
 
     @property
     def quarantined_pids(self) -> List[int]:
@@ -103,18 +149,21 @@ class FleetResult:
         return (self.monitor_cycles + self.stall_cycles) / self.app_cycles
 
     def to_dict(self) -> dict:
-        return {
-            "config": {
-                "workers": self.config.workers,
-                "quantum": self.config.quantum,
-                "ring_bytes": self.config.ring_bytes,
-                "ring_policy": self.config.ring_policy.value,
-                "max_queue_depth": self.config.max_queue_depth,
-                "decode_mode": self.config.decode_mode,
-                "segment_cache_entries": self.config.segment_cache_entries,
-                "edge_cache_entries": self.config.edge_cache_entries,
-                "seed": self.config.seed,
-            },
+        """The run in the unified :class:`~repro.stats_report.StatsReport`
+        schema: monitor cycle totals under ``monitor``, fleet-specific
+        observables under ``fleet``, fault plane under ``resilience``."""
+        from repro.stats_report import StatsReport
+
+        monitor = {
+            "app_cycles": self.app_cycles,
+            "monitor_cycles": self.monitor_cycles,
+            "stall_cycles": self.stall_cycles,
+            "overhead": self.overhead,
+            "detections": self.detections,
+            "accounting": self.accounting,
+        }
+        fleet = {
+            "config": self.config.to_dict(),
             "processes": self.processes,
             "quarantines": [
                 {
@@ -128,7 +177,6 @@ class FleetResult:
                 }
                 for e in self.quarantines
             ],
-            "detections": self.detections,
             "tasks": self.tasks,
             "dropped_checks": self.dropped_checks,
             "lag": self.lag,
@@ -136,15 +184,19 @@ class FleetResult:
             "rounds": self.rounds,
             "worker_busy": self.worker_busy,
             "worker_utilization": self.worker_utilization,
-            "app_cycles": self.app_cycles,
-            "monitor_cycles": self.monitor_cycles,
-            "stall_cycles": self.stall_cycles,
-            "overhead": self.overhead,
-            "accounting": self.accounting,
             "schedule_digest": self.schedule_digest,
             "threaded_decode": self.threaded_decode,
-            "caches": self.caches,
+            "dead_letters": [
+                letter.to_dict() for letter in (self.dead_letters or [])
+            ],
         }
+        return StatsReport(
+            monitor=monitor,
+            caches=self.caches,
+            fleet=fleet,
+            resilience=self.resilience,
+            context={"kind": "fleet"},
+        ).to_dict()
 
 
 class FleetService:
@@ -168,6 +220,7 @@ class FleetService:
             self.pool,
             policy=self.config.ring_policy,
             max_queue_depth=self.config.max_queue_depth,
+            retry=self.config.retry,
         )
         self.clock = FleetClock()
         self.monitor = FleetMonitor(
@@ -177,8 +230,13 @@ class FleetService:
             ring_policy=self.config.ring_policy,
             ring_bytes=self.config.ring_bytes,
             policy=policy,
+            faults=self.config.faults,
         )
         self.dispatcher.bind(self.monitor)
+        # Monitor and dispatcher share one fault plane (per-site RNG
+        # streams stay aligned) and one degradation audit trail.
+        self.dispatcher.injector = self.monitor.fault_injector
+        self.dispatcher.degradations = self.monitor.degradations
         self.monitor.install()
         self.scheduler = RoundRobinScheduler(
             self.kernel,
@@ -300,7 +358,16 @@ class FleetService:
             for s in stats_list
         )
         ledger = self.dispatcher.ledger()
-        ledger_total = ledger["busy_cycles"] + ledger["intercept_cycles"]
+        # Wasted retry cycles are real pool busy time but were never
+        # charged to any process's MonitorStats — subtract them.  The
+        # inverse hole: dead-lettered checks were costed into stats at
+        # submit() but never ran on a worker — add them back.
+        ledger_total = (
+            ledger["busy_cycles"]
+            - ledger["retry_cycles"]
+            + ledger["intercept_cycles"]
+            + ledger["dead_letter_cycles"]
+        )
         accounting = {
             **ledger,
             "stats_cycles": monitor_cycles,
@@ -314,6 +381,16 @@ class FleetService:
             "p99": percentile(lags, 99),
             "mean": sum(lags) / len(lags) if lags else 0.0,
             "max": max(lags) if lags else 0.0,
+        }
+        injector = self.monitor.fault_injector
+        resilience = {
+            "faults": injector.stats() if injector is not None else None,
+            "degradations": self.monitor.degradations.to_dict(),
+            "dead_letters": len(self.dispatcher.dead_letters),
+            "retry": self.dispatcher.retry.to_dict(),
+            "ledger_reconcile": self.monitor.degradations.reconcile(
+                retry_cycles=self.dispatcher.retry_cycles
+            ),
         }
         threaded = None
         if self.decoder is not None:
@@ -343,4 +420,6 @@ class FleetService:
             schedule_digest=self.scheduler.schedule_digest(),
             threaded_decode=threaded,
             caches=self.monitor.cache_stats(),
+            dead_letters=list(self.dispatcher.dead_letters),
+            resilience=resilience,
         )

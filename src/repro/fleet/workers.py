@@ -42,6 +42,18 @@ class CheckTask:
     serial_cycles: float = 0.0
     verdict: str = "pass"
     resynced: bool = False
+    #: dispatch attempts made (>1 when workers crashed/hung under
+    #: fault injection and the dispatcher retried).
+    attempts: int = 1
+    #: every attempt failed: the check is unverifiable and the verdict
+    #: never takes normal effect (fail-closed handling applies instead).
+    dead_lettered: bool = False
+    #: the check took a degraded path (drain re-read, PSB re-sync,
+    #: slow-path fallback/upcall) and can cost orders of magnitude
+    #: more than a clean fast-path check — the pool serializes it
+    #: onto a single worker (the "degraded lane") so healthy checks
+    #: never queue behind recovery work.
+    degraded: bool = False
 
     # filled in by the pool:
     started_at: float = 0.0
@@ -81,10 +93,39 @@ class SimulatedWorkerPool:
                 best_start = start
         return best
 
-    def dispatch(self, task: CheckTask) -> float:
+    def _latest(self) -> int:
+        """The degraded lane: the worker already booked furthest out
+        (ties: highest index).  Piling recovery work onto it costs the
+        least healthy capacity, and consecutive degraded checks
+        serialize behind each other instead of spreading."""
+        best = self.workers - 1
+        for index in range(self.workers - 2, -1, -1):
+            if self.free_at[index] > self.free_at[best]:
+                best = index
+        return best
+
+    def dispatch(
+        self, task: CheckTask, not_before: Optional[float] = None
+    ) -> float:
         """Schedule a task's slices then its serial phase; returns the
-        completion time on the fleet clock."""
-        t0 = task.enqueued_at
+        completion time on the fleet clock.  ``not_before`` delays the
+        earliest start past the enqueue time (retry backoff).
+
+        Degraded tasks do not spread: every slice plus the serial
+        phase runs back-to-back on the degraded lane, so one expensive
+        re-verification occupies one worker, not the whole pool.
+        """
+        t0 = task.enqueued_at if not_before is None else not_before
+        if task.degraded:
+            w = self._latest()
+            start = max(self.free_at[w], t0)
+            cost = task.cost
+            self.free_at[w] = start + cost
+            self.busy_cycles[w] += cost
+            self.tasks_run[w] += 1
+            task.started_at = start
+            task.finished_at = start + cost
+            return task.finished_at
         first_start = None
         slice_end = t0
         last_worker: Optional[int] = None
@@ -116,6 +157,24 @@ class SimulatedWorkerPool:
         task.started_at = first_start if first_start is not None else t0
         task.finished_at = slice_end
         return task.finished_at
+
+    def burn(
+        self, not_before: float, cycles: float, lane: bool = False
+    ) -> float:
+        """Occupy a worker with ``cycles`` of *unproductive* work (a
+        crashed/hung/timed-out check attempt).  The cycles land in the
+        busy ledger like any other work — the dispatcher's
+        ``retry_cycles`` entry is what keeps the reconciliation exact.
+        ``lane`` sends the burn to the degraded lane instead of the
+        earliest worker: a wedged attempt that a watchdog will cancel
+        should not hold up healthy capacity.  Returns the burn's end
+        time."""
+        w = self._latest() if lane else self._earliest(not_before)
+        start = max(self.free_at[w], not_before)
+        end = start + cycles
+        self.free_at[w] = end
+        self.busy_cycles[w] += cycles
+        return end
 
     # -- accounting ----------------------------------------------------------
 

@@ -230,6 +230,15 @@ def fast_decode(
                 truncated = True
                 break
             width = data[pos + 1]
+            if width > 8:
+                # No IP compression mode emits more than 8 bytes: this
+                # is corruption, not a snapshot that ended mid-packet —
+                # be loud, or a garbage width would silently swallow the
+                # rest of the segment as a fake truncation.
+                raise PacketError(
+                    f"desynchronised at offset {pos}: "
+                    f"IP width {width} impossible"
+                )
             if pos + 2 + width > size:
                 truncated = True
                 break

@@ -8,6 +8,13 @@ pair against the credit-labelled ITC-CFG:
 - a pair with no ITC edge  -> **VIOLATION** (attack, no false positives),
 - all edges high-credit with matching TNT -> **PASS**,
 - otherwise -> **SUSPICIOUS**, forwarded to the slow path.
+
+A segment whose bytes no longer decode (drain corruption) degrades
+rather than aborts the check: the tail scan stops at the corrupt
+segment and judges the clean suffix that re-synced at the next PSB —
+never stitching a window across the gap, which would fabricate
+non-adjacent TIP pairs.  Every such downgrade is recorded in the
+attached :class:`~repro.resilience.DegradationLedger`.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import costs
 from repro.binary.loader import Image
 from repro.telemetry import get_telemetry
 from repro.ipt.fast_decoder import (
@@ -24,7 +32,7 @@ from repro.ipt.fast_decoder import (
     fast_decode,
     psb_offsets,
 )
-from repro.ipt.packets import DecodedPacket, PacketKind
+from repro.ipt.packets import DecodedPacket, PacketError, PacketKind
 from repro.itccfg.credits import CreditLevel
 from repro.itccfg.paths import PathIndex
 from repro.itccfg.searchindex import FlowSearchIndex
@@ -50,6 +58,8 @@ class FastPathResult:
     window_offset: int = 0  # stream offset the window decode started at
     #: raw packets of the decoded tail (slow-path input).
     packets: list = field(default_factory=list)
+    #: undecodable PSB segments the tail scan stopped at (degradation).
+    corrupt_segments: int = 0
 
     def slow_path_packets(self) -> list:
         """Packets for slow-path hand-off: from the PSB sync point
@@ -80,6 +90,8 @@ class FastPathChecker:
         require_executable: bool = True,
         path_index: "PathIndex | None" = None,
         segment_cache=None,
+        ledger=None,
+        owner_pid: int = -1,
     ) -> None:
         self.index = index
         self.image = image
@@ -93,6 +105,14 @@ class FastPathChecker:
         #: byte-identical PSB segments then decode once across checks
         #: (and across checkers sharing the cache).
         self.segment_cache = segment_cache
+        #: optional :class:`~repro.resilience.DegradationLedger` that
+        #: audits corrupt-segment recovery, attributed to ``owner_pid``.
+        self.ledger = ledger
+        self.owner_pid = owner_pid
+        #: corrupt segments hit by the most recent / all decode_tail
+        #: calls (the 4-tuple return shape predates degradation).
+        self.last_corrupt_segments = 0
+        self.corrupt_segments = 0
 
     # -- tail decoding -------------------------------------------------------
 
@@ -111,7 +131,16 @@ class FastPathChecker:
         because PSBs reset IP compression; the dangling TNT bits and
         far-transfer marker a segment ends with are stitched onto the
         first TIP of the already-accumulated suffix.
+
+        A segment that raises :class:`PacketError` (corrupt drain bytes)
+        stops the backward scan: the clean suffix already accumulated —
+        re-synced at the PSB *after* the corruption — is the window.
+        Skipping over the gap instead would pair TIPs that were never
+        adjacent and fabricate violations.  The failed decode is still
+        charged for the bytes scanned, and the downgrade lands in the
+        ledger (``corrupt-segment``, ``cache-bypass``, ``psb-resync``).
         """
+        self.last_corrupt_segments = 0
         offsets = psb_offsets(data)
         if not offsets:
             return [], [], 0.0, len(data)
@@ -122,8 +151,25 @@ class FastPathChecker:
         cycles = 0.0
         start = offsets[-1]
         for index in range(len(offsets) - 1, -1, -1):
-            seg = self._decode_segment(view, offsets[index],
-                                       bounds[index + 1])
+            try:
+                seg = self._decode_segment(view, offsets[index],
+                                           bounds[index + 1])
+            except PacketError:
+                cycles += self._corrupt_segment(
+                    offsets[index], bounds[index + 1], bool(records)
+                )
+                break
+            if seg.truncated and index < len(offsets) - 1:
+                # Only the *final* segment of a clean stream can end
+                # mid-packet (the snapshot caught the producer).  A
+                # truncated middle segment means its bytes are corrupt
+                # in a way that mimics truncation — keeping its prefix
+                # records would stitch across the gap and pair TIPs
+                # that were never adjacent.
+                cycles += seg.cycles + self._corrupt_segment(
+                    offsets[index], bounds[index + 1], bool(records)
+                )
+                break
             cycles += seg.cycles
             if records and (seg.trailing_tnt or seg.trailing_far):
                 head = records[0]
@@ -139,6 +185,28 @@ class FastPathChecker:
             if len(records) > self.pkt_count and self._spans_modules(records):
                 break
         return records, packets, cycles, start
+
+    def _corrupt_segment(self, begin: int, end: int, resynced: bool) -> float:
+        """Account one undecodable segment; returns the cycles the
+        failed decode burned (the decoder scanned up to the corruption,
+        charged conservatively for the whole segment)."""
+        self.last_corrupt_segments += 1
+        self.corrupt_segments += 1
+        if self.ledger is not None:
+            self.ledger.record(
+                "corrupt-segment", pid=self.owner_pid,
+                detail=f"segment@{begin}",
+            )
+            if self.segment_cache is not None:
+                self.ledger.record("cache-bypass", pid=self.owner_pid,
+                                   detail=f"segment@{begin}")
+            if resynced:
+                self.ledger.record("psb-resync", pid=self.owner_pid,
+                                   detail=f"resync@{end}")
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("fastpath.corrupt_segments").inc()
+        return (end - begin) * costs.FAST_DECODE_CYCLES_PER_BYTE
 
     def _decode_segment(self, view, begin: int, end: int) -> SegmentDecode:
         """One PSB segment, rebased to the stream, via the cache if
@@ -205,6 +273,7 @@ class FastPathChecker:
 
     def _check(self, data: bytes) -> FastPathResult:
         records, packets, decode_cycles, start = self.decode_tail(data)
+        corrupt = self.last_corrupt_segments
         if len(records) < 2:
             return FastPathResult(
                 Verdict.INSUFFICIENT,
@@ -212,6 +281,7 @@ class FastPathChecker:
                 window=records,
                 window_offset=start,
                 packets=packets,
+                corrupt_segments=corrupt,
             )
         window = records[-(self.pkt_count + 1):]
         search_before = self.index.cycles
@@ -230,6 +300,7 @@ class FastPathChecker:
                     window=window,
                     window_offset=start,
                     packets=packets,
+                    corrupt_segments=corrupt,
                 )
             if lookup.credit is not CreditLevel.HIGH or not lookup.tnt_ok:
                 low_credit.append((prev.ip, cur.ip))
@@ -258,4 +329,5 @@ class FastPathChecker:
             window=window,
             window_offset=start,
             packets=packets,
+            corrupt_segments=corrupt,
         )

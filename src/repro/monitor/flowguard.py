@@ -32,6 +32,8 @@ from repro.itccfg.searchindex import FlowSearchIndex
 from repro.monitor.fastpath import FastPathChecker, FastPathResult, Verdict
 from repro.monitor.policy import FlowGuardPolicy
 from repro.monitor.slowpath import SlowPathEngine
+from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.resilience.ledger import DegradationLedger
 from repro.osmodel.kernel import Kernel
 from repro.osmodel.process import Process
 from repro.osmodel.syscalls import SIGKILL, Sys
@@ -103,12 +105,29 @@ class ProtectedProcess:
 class FlowGuardMonitor:
     """The kernel module: owns interception and per-process state."""
 
+    #: snapshot re-reads per check before giving up on a drain whose
+    #: mangled bytes left no judgeable window (the ring still holds the
+    #: real data; the fault model corrupts the DMA copy, not the ring).
+    DRAIN_ATTEMPTS = 3
+
     def __init__(
-        self, kernel: Kernel, policy: Optional[FlowGuardPolicy] = None
+        self,
+        kernel: Kernel,
+        policy: Optional[FlowGuardPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.kernel = kernel
         self.policy = policy if policy is not None else FlowGuardPolicy()
         self._telemetry = get_telemetry()
+        #: deterministic fault plane (None = fault-free, bit-identical
+        #: to a monitor built without the resilience layer).
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(faults)
+            if faults is not None and faults.active
+            else None
+        )
+        #: audit trail of every degradation/recovery action taken.
+        self.degradations = DegradationLedger()
         self.detections: List[Detection] = []
         self._protected: Dict[int, ProtectedProcess] = {}  # by CR3
         self._originals: Dict[int, object] = {}
@@ -189,6 +208,8 @@ class FlowGuardMonitor:
             require_executable=self.policy.require_executable,
             path_index=path_index if self.policy.path_sensitive else None,
             segment_cache=self.segment_cache,
+            ledger=self.degradations,
+            owner_pid=process.pid,
         )
         slow = SlowPathEngine(process.machine.memory, ocfg)
         pp = ProtectedProcess(
@@ -268,8 +289,7 @@ class FlowGuardMonitor:
         stats.checks += 1
         stats.other_cycles += costs.MONITOR_INTERCEPT_CYCLES
         pp.encoder.flush()
-        data = pp.topa.snapshot()
-        result = pp.checker.check(data)
+        result = self._fastpath_with_recovery(pp)
         stats.decode_cycles += result.decode_cycles
         stats.check_cycles += result.search_cycles
         stats.edges_checked += result.checked_pairs
@@ -314,10 +334,116 @@ class FlowGuardMonitor:
             return Verdict.PASS
 
         # Suspicious: upcall into the slow path with the same window.
-        stats.slow_path_runs += 1
-        slow_result = pp.slow.check(
-            result.slow_path_packets(), window=result.window
+        return self._run_slow(pp, nr, result)
+
+    def _fastpath_with_recovery(self, pp: ProtectedProcess) -> FastPathResult:
+        """Snapshot the ToPA and run the fast path, surviving the fault
+        plane.  Fault-free (no injector) this is exactly one snapshot
+        and one check — bit-identical to the pre-resilience monitor.
+
+        Under faults, the drain bytes are mangled per the plan; an
+        injected fast-path decode error downgrades the check to
+        SUSPICIOUS over a raw tail decode (the slow path then delivers
+        the verdict); and a drain whose corruption left no judgeable
+        window is re-read from the ring up to ``DRAIN_ATTEMPTS`` times —
+        the ring still holds the true bytes, only the DMA copy was
+        mangled.  Every attempt's decode cost is charged.
+        """
+        inj = self.fault_injector
+        data = pp.topa.snapshot()
+        if inj is None:
+            return pp.checker.check(data)
+        tel = self._telemetry
+        stats = pp.stats
+        pid = pp.process.pid
+        result: FastPathResult
+        for attempt in range(1, self.DRAIN_ATTEMPTS + 1):
+            mangled, drain_events = inj.mangle(data)
+            for kind in drain_events:
+                self.degradations.record(kind, pid=pid)
+            try:
+                if inj.fire("fastpath_error"):
+                    raise InjectedFault("injected fast-path decode error")
+                result = pp.checker.check(mangled)
+            except InjectedFault:
+                self.degradations.record(
+                    "slowpath-fallback", pid=pid, detail="fastpath-error"
+                )
+                if tel.enabled:
+                    tel.metrics.counter("resilience.slowpath_fallbacks").inc()
+                result = self._fastpath_surrogate(pp, mangled)
+            blinded = (
+                result.verdict is Verdict.INSUFFICIENT
+                and result.corrupt_segments > 0
+            )
+            if blinded and attempt < self.DRAIN_ATTEMPTS:
+                # Charge the wasted decode, audit, re-read the drain.
+                self.degradations.record("retry", pid=pid,
+                                         detail="drain-reread")
+                stats.decode_cycles += result.decode_cycles
+                stats.check_cycles += result.search_cycles
+                if tel.enabled:
+                    prof = tel.profiler
+                    prof.record("monitor.fastpath", "decode",
+                                result.decode_cycles)
+                    prof.record("monitor.fastpath", "search",
+                                result.search_cycles)
+                continue
+            break
+        return result
+
+    def _fastpath_surrogate(
+        self, pp: ProtectedProcess, data: bytes
+    ) -> FastPathResult:
+        """The fast path crashed mid-check: decode the tail directly
+        and mark the whole window SUSPICIOUS so the slow path (which
+        shares no state with the fast checker) delivers the verdict."""
+        checker = pp.checker
+        records, packets, cycles, start = checker.decode_tail(data)
+        if len(records) < 2:
+            return FastPathResult(
+                Verdict.INSUFFICIENT,
+                decode_cycles=cycles,
+                window=records,
+                window_offset=start,
+                packets=packets,
+                corrupt_segments=checker.last_corrupt_segments,
+            )
+        window = records[-(checker.pkt_count + 1):]
+        return FastPathResult(
+            Verdict.SUSPICIOUS,
+            decode_cycles=cycles,
+            window=window,
+            window_offset=start,
+            packets=packets,
+            corrupt_segments=checker.last_corrupt_segments,
         )
+
+    def _run_slow(
+        self, pp: ProtectedProcess, nr: int, result: FastPathResult
+    ) -> Verdict:
+        tel = self._telemetry
+        stats = pp.stats
+        stats.slow_path_runs += 1
+        inj = self.fault_injector
+        try:
+            if inj is not None and inj.fire("slowpath_error"):
+                raise InjectedFault("injected slow-path decode error")
+            slow_result = pp.slow.check(
+                result.slow_path_packets(), window=result.window
+            )
+        except InjectedFault:
+            # The engine died after the upcall: charge the upcall, audit
+            # the downgrade, and fail open for this window — violations
+            # are fast-path verdicts, so availability wins here.
+            self.degradations.record(
+                "slowpath-error", pid=pp.process.pid, detail=f"syscall={nr}"
+            )
+            stats.other_cycles += costs.SLOWPATH_UPCALL_CYCLES
+            if tel.enabled:
+                tel.profiler.record("monitor.slowpath", "upcall",
+                                    costs.SLOWPATH_UPCALL_CYCLES)
+            return Verdict.PASS
         slow_decode = (
             slow_result.insns_decoded * costs.FULL_DECODE_CYCLES_PER_INSN
         )
@@ -365,6 +491,12 @@ class FlowGuardMonitor:
         return Verdict.PASS
 
     def _on_pmi(self, pp: ProtectedProcess) -> None:
+        inj = self.fault_injector
+        if inj is not None and inj.fire("drop_pmi"):
+            # The interrupt never reached the handler; the ring keeps
+            # filling and the next endpoint check covers the window.
+            self.degradations.record("pmi-drop", pid=pp.process.pid)
+            return
         pp.stats.pmi_count += 1
         if self._telemetry.enabled:
             self._telemetry.metrics.counter("monitor.pmi").inc()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import FrozenSet
 
 from repro.osmodel.syscalls import SENSITIVE_SYSCALLS, Sys
@@ -53,6 +53,30 @@ class FlowGuardPolicy:
     segment_cache_entries: int = 0
     #: per-index (src, dst, tnt) verdict memo capacity; 0 disables it.
     edge_cache_entries: int = 0
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (endpoints as a sorted list)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["endpoints"] = sorted(self.endpoints)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowGuardPolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FlowGuardPolicy keys: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        kwargs = dict(data)
+        if "endpoints" in kwargs:
+            kwargs["endpoints"] = frozenset(
+                int(e) for e in kwargs["endpoints"]
+            )
+        return cls(**kwargs)
 
     def with_endpoints(self, *extra: int) -> "FlowGuardPolicy":
         """A copy with additional user-specified endpoints."""

@@ -128,14 +128,21 @@ class FlowGuardPipeline:
     # -- runtime ------------------------------------------------------------
 
     def make_monitor(
-        self, kernel: Kernel, policy: Optional[FlowGuardPolicy] = None
+        self,
+        kernel: Kernel,
+        policy: Optional[FlowGuardPolicy] = None,
+        faults=None,
     ) -> FlowGuardMonitor:
-        """Register the program, build and install the kernel module."""
+        """Register the program, build and install the kernel module.
+
+        ``faults`` optionally arms a :class:`~repro.resilience.FaultPlan`
+        on the monitor's recovery plane.
+        """
         if self.program not in kernel.programs:
             kernel.register_program(
                 self.program, self.exe, self.libraries, vdso=self.vdso
             )
-        monitor = FlowGuardMonitor(kernel, policy=policy)
+        monitor = FlowGuardMonitor(kernel, policy=policy, faults=faults)
         monitor.install()
         return monitor
 
@@ -144,10 +151,12 @@ class FlowGuardPipeline:
         kernel: Kernel,
         policy: Optional[FlowGuardPolicy] = None,
         monitor: Optional[FlowGuardMonitor] = None,
+        faults=None,
     ) -> Tuple[FlowGuardMonitor, Process]:
         """Spawn one protected process under a (new) monitor."""
         if monitor is None:
-            monitor = self.make_monitor(kernel, policy=policy)
+            monitor = self.make_monitor(kernel, policy=policy,
+                                        faults=faults)
         elif self.program not in kernel.programs:
             kernel.register_program(
                 self.program, self.exe, self.libraries, vdso=self.vdso

@@ -1,0 +1,131 @@
+"""The one versioned stats schema every reporting surface emits.
+
+Before this module, three surfaces invented three payload shapes:
+``repro stats`` dumped an ad-hoc ``{server, monitor, telemetry, ...}``
+dict, ``repro fleet --json`` dumped :class:`FleetResult`'s flat field
+dump, and library consumers got a third shape from
+``FleetResult.to_dict()``.  All three now emit one
+:class:`StatsReport`:
+
+- ``schema_version`` — bumped on any breaking reshape, so downstream
+  log pipelines can dispatch on it,
+- ``context`` — what produced the report (solo server run, fleet run),
+- ``monitor`` — the checking stack: policy, per-process cycle
+  breakdowns, detections, cycle-accounting reconciliation,
+- ``caches`` — segment-decode / edge-verdict cache hit rates,
+- ``fleet`` — fleet-only observables (schedule, lag, workers, config);
+  ``None`` for solo runs,
+- ``resilience`` — fault-plane stats, the degradation ledger and its
+  reconciliation; ``None`` when the run had no resilience plane,
+- ``telemetry`` — the metrics snapshot, when telemetry was enabled.
+
+Every key is always present (absent sections are ``None``, never
+missing), so consumers can index without existence checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: current schema revision.  1 was the trio of ad-hoc shapes (implicit,
+#: unversioned); 2 is the unified report.
+SCHEMA_VERSION = 2
+
+_SECTIONS = (
+    "schema_version",
+    "context",
+    "monitor",
+    "caches",
+    "fleet",
+    "resilience",
+    "telemetry",
+)
+
+
+@dataclass
+class StatsReport:
+    """One run's complete observable state, in the unified schema."""
+
+    monitor: dict
+    caches: Optional[dict] = None
+    fleet: Optional[dict] = None
+    resilience: Optional[dict] = None
+    telemetry: Optional[dict] = None
+    context: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; key order is the documented one."""
+        return {
+            "schema_version": self.schema_version,
+            "context": self.context,
+            "monitor": self.monitor,
+            "caches": self.caches,
+            "fleet": self.fleet,
+            "resilience": self.resilience,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatsReport":
+        unknown = set(data) - set(_SECTIONS)
+        if unknown:
+            raise ValueError(
+                f"unknown StatsReport keys: {', '.join(sorted(unknown))}"
+            )
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"StatsReport schema_version {version} is newer than "
+                f"this reader ({SCHEMA_VERSION})"
+            )
+        return cls(
+            monitor=data.get("monitor") or {},
+            caches=data.get("caches"),
+            fleet=data.get("fleet"),
+            resilience=data.get("resilience"),
+            telemetry=data.get("telemetry"),
+            context=dict(data.get("context") or {}),
+            schema_version=version,
+        )
+
+    # -- builders ------------------------------------------------------------
+
+    @classmethod
+    def from_monitor(
+        cls,
+        monitor,
+        reconciliation: Optional[dict] = None,
+        telemetry: Optional[dict] = None,
+        **context,
+    ) -> "StatsReport":
+        """A report for a solo (non-fleet) monitor.
+
+        ``reconciliation`` is the profiler-vs-MonitorStats check; it is
+        embedded in the ``monitor`` section because it audits the
+        monitor's own cycle ledger.
+        """
+        block = monitor.report()
+        if reconciliation is not None:
+            block["reconciliation"] = reconciliation
+        injector = getattr(monitor, "fault_injector", None)
+        ledger = getattr(monitor, "degradations", None)
+        resilience = None
+        if injector is not None or (ledger is not None and ledger.events):
+            resilience = {
+                "faults": injector.stats() if injector is not None else None,
+                "degradations": (
+                    ledger.to_dict() if ledger is not None else None
+                ),
+                "ledger_reconcile": (
+                    ledger.reconcile() if ledger is not None else None
+                ),
+            }
+        return cls(
+            monitor=block,
+            caches=monitor.cache_stats(),
+            resilience=resilience,
+            telemetry=telemetry,
+            context={"kind": "solo", **context},
+        )

@@ -105,12 +105,14 @@ class CycleProfiler:
         overall ``exact`` verdict.
 
         ``fleet_workers`` extends the contract to fleet mode: a mapping
-        with ``busy_cycles`` (the worker pool's busy-cycle ledger) and
+        with ``busy_cycles`` (the worker pool's busy-cycle ledger),
         ``intercept_cycles`` (endpoint-interception cycles spent on the
-        *protected* core, not a worker).  Every checking cycle a worker
-        burned must appear in some process's ``MonitorStats`` — i.e.
-        ``busy + intercept == sum(decode + check + other)`` — so a
-        drifting worker ledger fails the same ``exact`` verdict
+        *protected* core, not a worker), and optional ``retry_cycles``
+        (pool time wasted by crashed/hung/timed-out attempts under fault
+        injection).  Every *productive* checking cycle a worker burned
+        must appear in some process's ``MonitorStats`` — i.e.
+        ``busy + intercept - retry == sum(decode + check + other)`` —
+        so a drifting worker ledger fails the same ``exact`` verdict
         (``repro fleet`` exits 1 on it, like ``repro stats``).
         """
         stats_list = list(stats_list)
@@ -143,18 +145,29 @@ class CycleProfiler:
         if fleet_workers is not None:
             busy = float(fleet_workers.get("busy_cycles", 0.0))
             intercept = float(fleet_workers.get("intercept_cycles", 0.0))
+            # Cycles workers burned on attempts that crashed, hung, or
+            # timed out: real pool busy time, but no MonitorStats charge
+            # (the check's cost was accounted on the attempt that
+            # succeeded — or dead-lettered).
+            retry = float(fleet_workers.get("retry_cycles", 0.0))
+            # The inverse hole: dead-lettered checks were costed into
+            # MonitorStats when submitted but never ran on any worker.
+            dead = float(fleet_workers.get("dead_letter_cycles", 0.0))
             expected = sum(
                 getattr(s, attr)
                 for attr in ("decode_cycles", "check_cycles", "other_cycles")
                 for s in stats_list
             )
             ok = math.isclose(
-                busy + intercept, expected, rel_tol=1e-9, abs_tol=1e-6
+                busy + intercept - retry + dead, expected,
+                rel_tol=1e-9, abs_tol=1e-6,
             )
             exact = exact and ok
             report["fleet_workers"] = {
                 "busy_cycles": busy,
                 "intercept_cycles": intercept,
+                "retry_cycles": retry,
+                "dead_letter_cycles": dead,
                 "stats": expected,
                 "ok": ok,
             }

@@ -94,8 +94,12 @@ class TestCommands:
 
         assert main(["stats", "exim", "-n", "2"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["server"] == "exim"
-        assert payload["reconciliation"]["exact"] is True
+        assert payload["schema_version"] == 2
+        assert payload["context"] == {
+            "kind": "solo", "server": "exim", "sessions": 2,
+        }
+        assert payload["fleet"] is None
+        assert payload["monitor"]["reconciliation"]["exact"] is True
 
     def test_serve_trace_out(self, tmp_path, capsys):
         import json
@@ -124,6 +128,8 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         payload = json.loads(out[out.index("{"):])
-        assert payload["accounting"]["exact"] is True
-        assert payload["quarantines"] == []
-        assert len(payload["processes"]) == 2
+        assert payload["schema_version"] == 2
+        assert payload["context"]["kind"] == "fleet"
+        assert payload["monitor"]["accounting"]["exact"] is True
+        assert payload["fleet"]["quarantines"] == []
+        assert len(payload["fleet"]["processes"]) == 2

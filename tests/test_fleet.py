@@ -295,8 +295,8 @@ class TestThreadedDecode:
         ]
         d_sim, d_thr = sim.to_dict(), thr.to_dict()
         for d in (d_sim, d_thr):
-            d.pop("threaded_decode")
-            d.pop("config")
+            d["fleet"].pop("threaded_decode")
+            d["fleet"].pop("config")
         assert d_sim == d_thr
 
     def test_unknown_decode_mode_rejected(self):

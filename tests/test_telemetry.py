@@ -315,7 +315,9 @@ class TestStatsCLI:
         ])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["reconciliation"]["exact"] is True
+        assert payload["schema_version"] == 2
+        assert payload["context"]["kind"] == "solo"
+        assert payload["monitor"]["reconciliation"]["exact"] is True
         assert payload["monitor"]["processes"]
         assert payload["telemetry"]["metrics"]["counters"]
         chrome = json.loads(trace.read_text())
