@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run the columnar decode engine benchmark and write
+``BENCH_columnar.json``.
+
+Usage::
+
+    PYTHONPATH=src python experiments/columnar.py [--quick] \
+        [--out BENCH_columnar.json]
+
+``--quick`` shrinks the workloads for CI smoke runs; the JSON shape is
+identical.  Exits non-zero if any gate fails: the columnar engine must
+cut the uncached Fig. 5 decode+check wall-clock by at least 2x while
+producing bit-identical verdicts, exactly equal charged decode/search
+cycles, identical ``ipt.fast_decode.*`` telemetry, and (on the fleet
+workloads, clean and faulted) identical verdict sequences, monitor
+cycles, and degradation ledgers with exact reconciliation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import columnar  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_columnar.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = columnar.run(quick=args.quick)
+    print(columnar.format_table(results))
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\n[wrote {out}]")
+
+    failures = [
+        f"gate {name} failed"
+        for name, ok in results["gates"].items()
+        if not ok
+    ]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

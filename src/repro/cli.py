@@ -14,15 +14,19 @@ Commands:
 - ``disasm <server|utility|spec-name>`` — dump a workload's entry
   function as assembly text.
 - ``stats <server> [-n N] [--segment-cache N] [--edge-cache N]
-  [--faults PLAN] [--fault-seed N] [--trace-out F] [--spans-out F]`` —
+  [--engine columnar|objects] [--faults PLAN] [--fault-seed N]
+  [--trace-out F] [--spans-out F]`` —
   run a protected server with telemetry enabled and dump the
   versioned :class:`~repro.stats_report.StatsReport` (JSON),
   reconciled against the monitor's cycle accounting; the cache flags
   enable the fast-path decode/verdict caches and report their hit
-  rates.
+  rates.  ``--engine objects`` falls back to the original per-packet
+  decode engine (``columnar``, the default, produces identical
+  verdicts and charged cycles in less wall-clock —
+  e.g. ``repro stats nginx --engine objects`` to compare).
 - ``fleet [--processes N] [--workers M] [--policy stall|lossy]
-  [--segment-cache N] [--edge-cache N] [--faults PLAN]
-  [--fault-seed N]`` —
+  [--segment-cache N] [--edge-cache N] [--engine columnar|objects]
+  [--faults PLAN] [--fault-seed N]`` —
   time-slice N protected server processes against M checker workers,
   optionally injecting a ROP attack into one of them
   (``--inject-rop``); exits non-zero if the cycle ledger drifts or an
@@ -229,10 +233,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.api import FlowGuardPolicy, StatsReport, run_workload
 
     policy = None
-    if args.segment_cache or args.edge_cache:
+    if args.segment_cache or args.edge_cache or args.engine != "columnar":
         policy = FlowGuardPolicy(
             segment_cache_entries=args.segment_cache,
             edge_cache_entries=args.edge_cache,
+            engine=args.engine,
         )
     faults = _faults_from_args(args)
     tel = telemetry.get_telemetry()
@@ -299,6 +304,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         decode_mode=args.decode_mode,
         segment_cache_entries=args.segment_cache,
         edge_cache_entries=args.edge_cache,
+        engine=args.engine,
         seed=args.seed,
         faults=_faults_from_args(args),
     )
@@ -485,6 +491,18 @@ def _cache_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared decode-engine flag (parent parser)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--engine", choices=["columnar", "objects"], default="columnar",
+        help="fast-path decode engine: the table-driven columnar scan "
+             "(default; same verdicts and charged cycles, less "
+             "wall-clock) or the original per-packet object scan",
+    )
+    return parent
+
+
 def _fault_parent() -> argparse.ArgumentParser:
     """Shared fault-injection flags (parent parser)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -511,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = _trace_parent()
     caches = _cache_parent()
     faults = _fault_parent()
+    engine = _engine_parent()
 
     experiments = sub.add_parser(
         "experiments", help="regenerate paper tables/figures",
@@ -536,7 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats",
         help="run a protected server under telemetry, dump the report",
-        parents=[caches, faults, trace],
+        parents=[caches, engine, faults, trace],
     )
     stats.add_argument("server",
                        choices=["nginx", "vsftpd", "openssh", "exim"])
@@ -546,7 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet = sub.add_parser(
         "fleet",
         help="time-slice N protected processes over M checker workers",
-        parents=[caches, faults],
+        parents=[caches, engine, faults],
     )
     fleet.add_argument("-p", "--processes", type=int, default=8)
     fleet.add_argument("-w", "--workers", type=int, default=4)

@@ -1,0 +1,397 @@
+"""Columnar decode engine benchmark: table-driven scan + batched check.
+
+Compares the two fast-path decode engines on identical work:
+
+- **objects** — the original engine: every packet becomes a
+  ``DecodedPacket`` dataclass, every TIP a ``TipRecord``, and every
+  consecutive pair goes through ``FlowSearchIndex.check_edge``.
+- **columnar** — the table-driven engine: one dispatch-table scan emits
+  packed offset/IP columns and a TNT bitstream, and the whole window is
+  verified in one ``FlowSearchIndex.check_batch`` call.  Packet objects
+  materialise lazily, only when something actually reads them.
+
+Two deterministic workloads:
+
+- **tail** — the Fig. 5 server shape: one real captured nginx trace
+  checked as a series of growing ring snapshots (consecutive endpoint
+  checks on a filling ToPA ring) across several simulated processes.
+  The decode+check loop is wall-clocked per engine (best of several
+  repeats, fresh checker each repeat); verdicts, charged decode/search
+  cycles, and the ``ipt.fast_decode.*`` telemetry counters must be
+  **identical** — only wall-clock may differ.  Run uncached and again
+  with the segment + edge caches on.
+- **fleet** — two full :class:`repro.fleet.FleetService` runs per
+  engine pair, clean and under the standard fault mix.  Per-process
+  verdict sequences, total monitor cycles, the ``CycleProfiler``
+  reconciliation, and the :class:`~repro.resilience.DegradationLedger`
+  (counts and its own reconciliation) must all match exactly.
+
+``experiments/columnar.py`` writes ``BENCH_columnar.json`` and gates on
+the >=2x uncached wall-clock speedup plus every identity listed above.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro import telemetry
+from repro.experiments.common import (
+    seed_server_fs,
+    server_pipeline,
+    server_requests,
+)
+from repro.experiments.fastpath_cache import capture_trace
+from repro.fleet.rings import RingPolicy
+from repro.fleet.service import FleetConfig, FleetService
+from repro.ipt.segment_cache import SegmentDecodeCache
+from repro.itccfg.searchindex import FlowSearchIndex
+from repro.monitor.fastpath import ENGINES, FastPathChecker
+from repro.resilience import FaultPlan
+
+SEGMENT_CACHE_ENTRIES = 512
+EDGE_CACHE_ENTRIES = 4096
+
+#: telemetry counters that must agree between engines on the same work.
+_DECODE_COUNTERS = (
+    "ipt.fast_decode.calls",
+    "ipt.fast_decode.bytes",
+    "ipt.fast_decode.packets",
+    "ipt.segment_cache.hits",
+    "ipt.segment_cache.misses",
+)
+
+
+def _fingerprint(result) -> Tuple:
+    """Everything verdict-relevant about a FastPathResult.  Forcing
+    ``result.packets`` here (after the timed loop) materialises the
+    columnar engine's lazy packets, so packet parity is part of the
+    comparison without polluting the wall-clock measurement."""
+    return (
+        result.verdict.value,
+        result.checked_pairs,
+        tuple(result.low_credit_pairs),
+        result.violation_edge,
+        result.window_offset,
+        result.corrupt_segments,
+        tuple(
+            (r.ip, r.tnt_before, r.offset, r.after_far)
+            for r in result.window
+        ),
+        tuple(
+            (p.kind.value, p.offset, p.bits, p.ip)
+            for p in result.packets
+        ),
+    )
+
+
+def _make_checker(pipeline, proc, engine: str, cached: bool):
+    cache = SegmentDecodeCache(SEGMENT_CACHE_ENTRIES) if cached else None
+    index = FlowSearchIndex(
+        pipeline.labeled,
+        edge_cache_entries=EDGE_CACHE_ENTRIES if cached else 0,
+    )
+    return FastPathChecker(
+        index, proc.image, pkt_count=60,
+        require_cross_module=False, require_executable=False,
+        segment_cache=cache, engine=engine,
+    )
+
+
+def _run_tail_engine(
+    data: bytes,
+    pipeline,
+    proc,
+    processes: int,
+    cuts: List[int],
+    engine: str,
+    cached: bool,
+    repeats: int,
+) -> Tuple[dict, List[Tuple], Dict[str, float]]:
+    """One engine over the snapshot loop.  Returns (row, fingerprints,
+    telemetry counter totals)."""
+    # Measured pass: telemetry on, cycles + fingerprints collected.
+    with telemetry.capture() as tel:
+        checker = _make_checker(pipeline, proc, engine, cached)
+        results = []
+        decode_cycles = 0.0
+        search_cycles = 0.0
+        for _ in range(processes):
+            for cut in cuts:
+                result = checker.check(data[:cut])
+                decode_cycles += result.decode_cycles
+                search_cycles += result.search_cycles
+                results.append(result)
+        counters = {
+            name: tel.metrics.counter(name).total()
+            for name in _DECODE_COUNTERS
+        }
+    # Fingerprinting forces the lazy packets — outside any timing.
+    fingerprints = [_fingerprint(r) for r in results]
+    # Timing passes: telemetry off, fresh checker per repeat (so cache
+    # warm-up repeats identically), best-of to shed scheduler noise.
+    wall = float("inf")
+    for _ in range(repeats):
+        checker = _make_checker(pipeline, proc, engine, cached)
+        t0 = time.perf_counter()
+        for _ in range(processes):
+            for cut in cuts:
+                checker.check(data[:cut])
+        wall = min(wall, time.perf_counter() - t0)
+    row = {
+        "engine": engine,
+        "cached": cached,
+        "checks": processes * len(cuts),
+        "decode_cycles": decode_cycles,
+        "search_cycles": search_cycles,
+        "wall_s": wall,
+        "counters": counters,
+    }
+    return row, fingerprints, counters
+
+
+def run_tail_workload(
+    processes: int, snapshots: int, repeats: int
+) -> dict:
+    """The Fig. 5 decode+check loop, objects vs columnar."""
+    pipeline, proc, data = capture_trace()
+    step = max(256, len(data) // snapshots)
+    cuts = list(range(step, len(data), step)) + [len(data)]
+
+    rows: Dict[str, dict] = {}
+    prints: Dict[str, List[Tuple]] = {}
+    counters: Dict[str, Dict[str, float]] = {}
+    for cached in (False, True):
+        for engine in ENGINES:
+            key = f"{engine}_{'cached' if cached else 'uncached'}"
+            rows[key], prints[key], counters[key] = _run_tail_engine(
+                data, pipeline, proc, processes, cuts, engine, cached,
+                repeats,
+            )
+
+    def ratio(a: str, b: str) -> float:
+        return (
+            rows[a]["wall_s"] / rows[b]["wall_s"]
+            if rows[b]["wall_s"] else float("inf")
+        )
+
+    def cycles_equal(a: str, b: str) -> bool:
+        return (
+            rows[a]["decode_cycles"] == rows[b]["decode_cycles"]
+            and rows[a]["search_cycles"] == rows[b]["search_cycles"]
+        )
+
+    return {
+        "trace_bytes": len(data),
+        "processes": processes,
+        "snapshots_per_process": len(cuts),
+        "repeats": repeats,
+        "runs": rows,
+        "wall_ratio_uncached": ratio(
+            "objects_uncached", "columnar_uncached"
+        ),
+        "wall_ratio_cached": ratio("objects_cached", "columnar_cached"),
+        "verdicts_identical_uncached": (
+            prints["objects_uncached"] == prints["columnar_uncached"]
+        ),
+        "verdicts_identical_cached": (
+            prints["objects_cached"] == prints["columnar_cached"]
+        ),
+        "cycles_identical_uncached": cycles_equal(
+            "objects_uncached", "columnar_uncached"
+        ),
+        "cycles_identical_cached": cycles_equal(
+            "objects_cached", "columnar_cached"
+        ),
+        "telemetry_identical": (
+            counters["objects_uncached"] == counters["columnar_uncached"]
+            and counters["objects_cached"] == counters["columnar_cached"]
+        ),
+    }
+
+
+def _fleet_verdicts(service: FleetService) -> Dict[int, List[Tuple]]:
+    verdicts: Dict[int, List[Tuple]] = {}
+    for task in service.dispatcher.tasks:
+        verdicts.setdefault(task.pid, []).append(
+            (task.kind, task.syscall_nr, task.verdict,
+             task.resynced, task.degraded, task.dead_lettered)
+        )
+    return verdicts
+
+
+def _run_fleet(
+    processes: int, sessions: int, engine: str, faulted: bool
+) -> dict:
+    config = FleetConfig(
+        workers=2,
+        ring_policy=RingPolicy.STALL,
+        max_queue_depth=1_000_000,
+        segment_cache_entries=SEGMENT_CACHE_ENTRIES,
+        edge_cache_entries=EDGE_CACHE_ENTRIES,
+        engine=engine,
+        faults=FaultPlan.standard_mix(seed=7) if faulted else None,
+    )
+    with telemetry.capture():
+        service = FleetService(config)
+        seed_server_fs(service.kernel)
+        for index in range(processes):
+            name = ("nginx", "exim")[index % 2]
+            service.add_workload(
+                server_pipeline(name), server_requests(name, sessions)
+            )
+        result = service.run()
+        reconciliation = service.reconcile()
+    resilience = result.resilience or {}
+    ledger = resilience.get("degradations") or {}
+    ledger_reconcile = resilience.get("ledger_reconcile") or {}
+    return {
+        "engine": engine,
+        "faulted": faulted,
+        "tasks": result.tasks,
+        "detections": result.detections,
+        "quarantined_pids": result.quarantined_pids,
+        "monitor_cycles": result.monitor_cycles,
+        "lag_p99": result.lag["p99"],
+        "accounting_exact": result.accounting["exact"],
+        "reconcile_exact": bool(
+            reconciliation and reconciliation["exact"]
+        ),
+        "ledger": ledger,
+        "ledger_exact": bool(
+            not ledger_reconcile or ledger_reconcile.get("exact", True)
+        ),
+        "verdicts": _fleet_verdicts(service),
+    }
+
+
+def run_fleet_workload(processes: int, sessions: int) -> dict:
+    comparisons = {}
+    for faulted in (False, True):
+        objects = _run_fleet(processes, sessions, "objects", faulted)
+        columnar = _run_fleet(processes, sessions, "columnar", faulted)
+        label = "faulted" if faulted else "clean"
+        comparisons[label] = {
+            "objects": {
+                k: v for k, v in objects.items() if k != "verdicts"
+            },
+            "columnar": {
+                k: v for k, v in columnar.items() if k != "verdicts"
+            },
+            "verdicts_identical": (
+                objects["verdicts"] == columnar["verdicts"]
+            ),
+            "cycles_identical": (
+                objects["monitor_cycles"] == columnar["monitor_cycles"]
+            ),
+            "ledger_identical": objects["ledger"] == columnar["ledger"],
+            "reconcile_exact": (
+                objects["reconcile_exact"] and columnar["reconcile_exact"]
+                and objects["ledger_exact"] and columnar["ledger_exact"]
+            ),
+        }
+    return {
+        "processes": processes,
+        "sessions": sessions,
+        **comparisons,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    tail = run_tail_workload(
+        processes=3 if quick else 6,
+        snapshots=12 if quick else 24,
+        repeats=2 if quick else 3,
+    )
+    fleet = run_fleet_workload(
+        processes=2 if quick else 4,
+        sessions=1 if quick else 2,
+    )
+    return {
+        "quick": quick,
+        "segment_cache_entries": SEGMENT_CACHE_ENTRIES,
+        "edge_cache_entries": EDGE_CACHE_ENTRIES,
+        "tail": tail,
+        "fleet": fleet,
+        "gates": {
+            "tail_wall_ratio_2x": tail["wall_ratio_uncached"] >= 2.0,
+            "tail_verdicts_identical": (
+                tail["verdicts_identical_uncached"]
+                and tail["verdicts_identical_cached"]
+            ),
+            "tail_cycles_identical": (
+                tail["cycles_identical_uncached"]
+                and tail["cycles_identical_cached"]
+            ),
+            "tail_telemetry_identical": tail["telemetry_identical"],
+            "fleet_verdicts_identical": (
+                fleet["clean"]["verdicts_identical"]
+                and fleet["faulted"]["verdicts_identical"]
+            ),
+            "fleet_cycles_identical": (
+                fleet["clean"]["cycles_identical"]
+                and fleet["faulted"]["cycles_identical"]
+            ),
+            "fleet_ledger_identical": (
+                fleet["clean"]["ledger_identical"]
+                and fleet["faulted"]["ledger_identical"]
+            ),
+            "fleet_reconcile_exact": (
+                fleet["clean"]["reconcile_exact"]
+                and fleet["faulted"]["reconcile_exact"]
+            ),
+        },
+    }
+
+
+def format_table(results: dict) -> str:
+    tail = results["tail"]
+    runs = tail["runs"]
+    lines = [
+        "Columnar engine: Fig. 5 tail decode+check loop "
+        f"({tail['processes']} procs x "
+        f"{tail['snapshots_per_process']} snapshots, "
+        f"{tail['trace_bytes']} trace bytes, "
+        f"best of {tail['repeats']})",
+    ]
+    for mode, ratio_key in (
+        ("uncached", "wall_ratio_uncached"),
+        ("cached", "wall_ratio_cached"),
+    ):
+        obj = runs[f"objects_{mode}"]
+        col = runs[f"columnar_{mode}"]
+        lines.append(
+            f"  {mode:>8}: {obj['wall_s'] * 1e3:>8.2f} ms objects -> "
+            f"{col['wall_s'] * 1e3:>8.2f} ms columnar "
+            f"({tail[ratio_key]:.2f}x)"
+        )
+    lines.append(
+        "  verdicts identical: "
+        f"{tail['verdicts_identical_uncached']} (uncached) / "
+        f"{tail['verdicts_identical_cached']} (cached), "
+        f"cycles identical: {tail['cycles_identical_uncached']} / "
+        f"{tail['cycles_identical_cached']}, "
+        f"telemetry identical: {tail['telemetry_identical']}"
+    )
+    fleet = results["fleet"]
+    lines.append("")
+    lines.append(
+        f"Fleet ({fleet['processes']} procs, stall rings), "
+        "objects vs columnar:"
+    )
+    for label in ("clean", "faulted"):
+        cmp = fleet[label]
+        lines.append(
+            f"  {label:>8}: verdicts identical {cmp['verdicts_identical']}, "
+            f"cycles identical {cmp['cycles_identical']}, "
+            f"ledger identical {cmp['ledger_identical']}, "
+            f"reconcile exact {cmp['reconcile_exact']}"
+        )
+    gates = results["gates"]
+    failed = [name for name, ok in gates.items() if not ok]
+    lines.append("")
+    lines.append(
+        "gates: all passed" if not failed
+        else f"gates FAILED: {', '.join(failed)}"
+    )
+    return "\n".join(lines)

@@ -59,7 +59,11 @@ def capture_trace(sessions: int = 8):
 
 
 class _TimedChecker(FastPathChecker):
-    """FastPathChecker that wall-clocks its tail decoding."""
+    """FastPathChecker that wall-clocks its tail decoding.
+
+    The instrumentation (and the cached-vs-uncached wall gate) targets
+    the object engine's ``decode_tail``; the columnar engine's cache
+    interplay is measured separately by ``BENCH_columnar.json``."""
 
     decode_wall: float = 0.0
 
@@ -106,7 +110,7 @@ def _run_tail(
     checker = _TimedChecker(
         index, proc.image, pkt_count=60,
         require_cross_module=False, require_executable=False,
-        segment_cache=cache,
+        segment_cache=cache, engine="objects",
     )
     fingerprints: List[Tuple] = []
     decode_cycles = 0.0

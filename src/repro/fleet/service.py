@@ -66,6 +66,9 @@ class FleetConfig:
     #: the threaded decoder's private cache); 0 keeps caching off.
     segment_cache_entries: int = 0
     edge_cache_entries: int = 0
+    #: fast-path decode engine for the default policy and the threaded
+    #: decoder: ``"columnar"`` (default) or ``"objects"``.
+    engine: str = "columnar"
     seed: int = 0
     #: deterministic fault plan (None = fault-free run).
     faults: Optional[FaultPlan] = None
@@ -214,6 +217,7 @@ class FleetService:
             policy = FlowGuardPolicy(
                 segment_cache_entries=self.config.segment_cache_entries,
                 edge_cache_entries=self.config.edge_cache_entries,
+                engine=self.config.engine,
             )
         self.pool = SimulatedWorkerPool(self.config.workers)
         self.dispatcher = FleetDispatcher(
@@ -250,6 +254,7 @@ class FleetService:
             self.decoder = ThreadedSliceDecoder(
                 self.config.workers,
                 cache_entries=self.config.segment_cache_entries,
+                engine=self.config.engine,
             )
             self.dispatcher.real_decoder = self.decoder
         elif self.config.decode_mode != "simulated":

@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.ipt.columnar import columnar_decode_parallel
 from repro.ipt.fast_decoder import fast_decode_parallel
 from repro.ipt.segment_cache import SegmentDecodeCache
+from repro.monitor.fastpath import ENGINES
 
 
 @dataclass
@@ -208,12 +210,28 @@ class ThreadedSliceDecoder:
     stream feeds the simulated accounting.  Cached decoding runs on the
     caller thread (a hit skips decode work entirely, which beats
     fanning misses out to the pool).
+
+    ``engine`` selects the decode engine the slices run through:
+    ``"columnar"`` (default) feeds them to
+    :func:`~repro.ipt.columnar.columnar_decode_parallel`, ``"objects"``
+    to :func:`~repro.ipt.fast_decoder.fast_decode_parallel`.  Both
+    produce the same decode (the columnar one materialises packet
+    objects only on demand) — this backend never feeds the simulated
+    cycle accounting either way.
     """
 
-    def __init__(self, workers: int, cache_entries: int = 0) -> None:
+    def __init__(
+        self, workers: int, cache_entries: int = 0,
+        engine: str = "columnar",
+    ) -> None:
         from concurrent.futures import ThreadPoolExecutor
 
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown decode engine {engine!r}; pick one of {ENGINES}"
+            )
         self.workers = workers
+        self.engine = engine
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="fleet-decode"
         )
@@ -225,9 +243,13 @@ class ThreadedSliceDecoder:
         self.segments_decoded = 0
 
     def decode(self, data: bytes, sync: bool = False):
-        result = fast_decode_parallel(data, sync=sync,
-                                      executor=self._executor,
-                                      cache=self.cache)
+        decode_parallel = (
+            columnar_decode_parallel if self.engine == "columnar"
+            else fast_decode_parallel
+        )
+        result = decode_parallel(data, sync=sync,
+                                 executor=self._executor,
+                                 cache=self.cache)
         self.snapshots_decoded += 1
         self.segments_decoded += result.segments
         return result

@@ -23,6 +23,14 @@ from repro.ipt.packets import (
     PSB_PATTERN,
     PacketError,
 )
+from repro.ipt.columnar import (
+    ColumnarParallelResult,
+    ColumnarSegment,
+    ColumnarTail,
+    LazyPackets,
+    columnar_decode_parallel,
+    columnar_scan,
+)
 from repro.ipt.topa import PMI, ToPA, ToPARegion
 from repro.ipt.msr import RTIT_CTL, IPTConfig
 from repro.ipt.encoder import IPTEncoder
@@ -45,6 +53,9 @@ from repro.ipt.full_decoder import (
 )
 
 __all__ = [
+    "ColumnarParallelResult",
+    "ColumnarSegment",
+    "ColumnarTail",
     "DecodedPacket",
     "FastDecodeResult",
     "FlowEdge",
@@ -63,6 +74,9 @@ __all__ = [
     "ToPA",
     "ToPARegion",
     "TraceMismatch",
+    "LazyPackets",
+    "columnar_decode_parallel",
+    "columnar_scan",
     "fast_decode",
     "fast_decode_parallel",
     "psb_boundaries",

@@ -58,6 +58,15 @@ class FastDecodeResult:
     cycles: float
     synced_offset: int = 0
     truncated: bool = False
+    #: memoised derivations (results are effectively immutable, so the
+    #: first scan's output is simply kept).  ``compare=False`` keeps
+    #: equality on the actual decode output.
+    _tip_state: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _fup_ips: Optional[List[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def tip_records(self) -> List[TipRecord]:
         """Plain-TIP targets with interleaved TNT context."""
@@ -73,7 +82,12 @@ class FastDecodeResult:
         boundaries (a PSB resets IP compression, not branch context), so
         stitching independently decoded segments needs the trailing
         state of each segment to patch the first TIP of the next.
+
+        The extraction runs once per result: repeat calls return the
+        same (shared, must-not-mutate) lists.
         """
+        if self._tip_state is not None:
+            return self._tip_state
         records: List[TipRecord] = []
         pending_tnt: List[bool] = []
         after_far = False
@@ -93,7 +107,8 @@ class FastDecodeResult:
                 after_far = False
             elif packet.kind is PacketKind.TIP_PGE:
                 after_far = True
-        return records, tuple(pending_tnt), after_far
+        self._tip_state = (records, tuple(pending_tnt), after_far)
+        return self._tip_state
 
     def rebased(self, base: int) -> "FastDecodeResult":
         """A copy with packet offsets shifted into the enclosing stream
@@ -113,12 +128,17 @@ class FastDecodeResult:
         )
 
     def fup_ips(self) -> List[int]:
-        """All FUP source addresses (syscall sites + PSB context)."""
-        return [
-            p.ip
-            for p in self.packets
-            if p.kind is PacketKind.FUP and p.ip is not None
-        ]
+        """All FUP source addresses (syscall sites + PSB context).
+
+        Scanned once and memoised; the returned list is shared.
+        """
+        if self._fup_ips is None:
+            self._fup_ips = [
+                p.ip
+                for p in self.packets
+                if p.kind is PacketKind.FUP and p.ip is not None
+            ]
+        return self._fup_ips
 
 
 @dataclass
@@ -152,15 +172,20 @@ def psb_offsets(data: bytes, start: int = 0) -> List[int]:
 
     The one shared PSB scan: tail decoding, segment splitting and slice
     accounting all derive their boundaries from it.
+
+    A ``memoryview`` input (a fleet ring drain) is converted to
+    ``bytes`` exactly once up front, so the whole scan runs on
+    ``bytes.find`` — the previous per-probe conversion inside
+    :func:`sync_to_psb` copied the remaining buffer for every PSB found.
     """
+    if isinstance(data, memoryview):
+        data = bytes(data)
     offsets: List[int] = []
-    pos = start
-    while True:
-        pos = sync_to_psb(data, pos)
-        if pos < 0:
-            break
+    step = len(PSB_PATTERN)
+    pos = data.find(PSB_PATTERN, start)
+    while pos >= 0:
         offsets.append(pos)
-        pos += len(PSB_PATTERN)
+        pos = data.find(PSB_PATTERN, pos + step)
     return offsets
 
 
@@ -168,6 +193,7 @@ def fast_decode(
     data: bytes,
     sync: bool = False,
     charge: bool = True,
+    telemetry: bool = True,
 ) -> FastDecodeResult:
     """Scan a packet stream.
 
@@ -178,6 +204,11 @@ def fast_decode(
 
     ``data`` may be a ``memoryview`` over a larger buffer: segment
     decoding slices zero-copy (the scan indexes bytes either way).
+
+    ``telemetry=False`` suppresses the ``ipt.fast_decode.*`` counters:
+    the columnar engine uses this scan to lazily materialise legacy
+    packet objects it already charged and counted at columnar-scan time,
+    and double-counting would break telemetry parity between engines.
     """
     pos = 0
     if sync:
@@ -262,12 +293,13 @@ def fast_decode(
     cycles = (
         (pos - synced) * costs.FAST_DECODE_CYCLES_PER_BYTE if charge else 0.0
     )
-    tel = get_telemetry()
-    if tel.enabled:
-        m = tel.metrics
-        m.counter("ipt.fast_decode.calls").inc()
-        m.counter("ipt.fast_decode.bytes").inc(pos - synced)
-        m.counter("ipt.fast_decode.packets").inc(len(packets))
+    if telemetry:
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("ipt.fast_decode.calls").inc()
+            m.counter("ipt.fast_decode.bytes").inc(pos - synced)
+            m.counter("ipt.fast_decode.packets").inc(len(packets))
     return FastDecodeResult(
         packets, cycles, synced_offset=synced, truncated=truncated
     )

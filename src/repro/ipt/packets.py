@@ -159,3 +159,40 @@ def encode_ip_packet(header: int, target: Optional[int],
 
 def ip_header_kind(header: int) -> Optional[PacketKind]:
     return _IP_HEADERS.get(header)
+
+
+# -- packed TNT signatures ---------------------------------------------------
+#
+# The columnar engine and the batched search index pass TNT runs around
+# as *signatures*: a single int whose low bits are the branch outcomes
+# (oldest first, MSB-side) under a leading 1 marker bit, exactly the TNT
+# payload convention but without the 6-bit width cap.  The marker makes
+# the empty run (sig == 1) distinct from a run of not-taken bits, and
+# packing is injective, so signature equality == tuple equality.
+
+
+def pack_tnt_sig(bits) -> int:
+    """Pack branch bits (oldest first) into a 1-prefixed signature."""
+    sig = 1
+    for bit in bits:
+        sig = (sig << 1) | (1 if bit else 0)
+    return sig
+
+
+def unpack_tnt_sig(sig: int) -> Tuple[bool, ...]:
+    """Inverse of :func:`pack_tnt_sig`."""
+    count = sig.bit_length() - 1
+    return tuple(
+        bool((sig >> position) & 1)
+        for position in range(count - 1, -1, -1)
+    )
+
+
+def compose_tnt_sigs(front: int, back: int) -> int:
+    """Concatenate two signatures: ``front``'s bits precede ``back``'s.
+
+    This is how segment stitching prepends a segment's trailing TNT run
+    onto the first TIP of the next segment without unpacking either.
+    """
+    width = back.bit_length() - 1
+    return (front << width) | (back ^ (1 << width))

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import costs
 from repro.telemetry import get_telemetry
+from repro.ipt.columnar import ColumnarSegment, columnar_scan
 from repro.ipt.fast_decoder import (
     FastDecodeResult,
     SegmentDecode,
@@ -88,6 +89,19 @@ class _SegmentEntry:
         return memo
 
 
+class _CacheEntry:
+    """One cache slot, holding up to two shapes of the same segment's
+    decode: the legacy object shape and/or the columnar shape.  A probe
+    that finds the key but not the requested shape is an honest miss —
+    that engine's decode work really does run."""
+
+    __slots__ = ("objects", "columnar")
+
+    def __init__(self) -> None:
+        self.objects: Optional[_SegmentEntry] = None
+        self.columnar: Optional[ColumnarSegment] = None
+
+
 class SegmentDecodeCache:
     """Bounded LRU of segment decodes, keyed by segment content hash."""
 
@@ -95,7 +109,7 @@ class SegmentDecodeCache:
         if entries < 1:
             raise ValueError("segment cache needs at least one entry")
         self.entries = entries
-        self._store: "OrderedDict[bytes, _SegmentEntry]" = OrderedDict()
+        self._store: "OrderedDict[bytes, _CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -136,8 +150,9 @@ class SegmentDecodeCache:
         size = len(segment)
         key = hashlib.blake2b(segment, digest_size=16).digest()
         tel = get_telemetry()
-        entry = self._store.get(key)
-        if entry is not None:
+        slot = self._store.get(key)
+        if slot is not None and slot.objects is not None:
+            entry = slot.objects
             self._store.move_to_end(key)
             self.hits += 1
             self.bytes_served += size
@@ -176,16 +191,63 @@ class SegmentDecodeCache:
             )
 
         entry = _SegmentEntry(result, records, trailing_tnt, trailing_far)
-        self._store[key] = entry
-        if len(self._store) > self.entries:
-            self._store.popitem(last=False)
-            self.evictions += 1
-            if tel.enabled:
-                tel.metrics.counter("ipt.segment_cache.evictions").inc()
+        slot = self._fill(key, tel)
+        slot.objects = entry
         packets, records = entry.at_base(base)
         return SegmentDecode(
             packets, records, trailing_tnt, trailing_far, cycles, False,
         )
+
+    def decode_segment_columnar(
+        self, segment
+    ) -> Tuple[ColumnarSegment, float]:
+        """Columnar twin of :meth:`decode_segment`.
+
+        Returns ``(segment_columns, charged_cycles)``; the columns stay
+        segment-relative (callers rebase by carrying the base, never by
+        copying — the zero-copy contract).  The cycle model is byte-wise
+        identical to the object path: hash + probe on a hit, hash +
+        per-byte decode on a miss, truncated segments never stored.
+        """
+        size = len(segment)
+        key = hashlib.blake2b(segment, digest_size=16).digest()
+        tel = get_telemetry()
+        slot = self._store.get(key)
+        if slot is not None and slot.columnar is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            self.bytes_served += size
+            if tel.enabled:
+                tel.metrics.counter("ipt.segment_cache.hits").inc()
+            return slot.columnar, self._hit_cycles(size)
+
+        self.misses += 1
+        if tel.enabled:
+            tel.metrics.counter("ipt.segment_cache.misses").inc()
+        seg = columnar_scan(segment)
+        self.bytes_decoded += size
+        cycles = size * costs.SEGMENT_CACHE_HASH_CYCLES_PER_BYTE + seg.cycles
+        if seg.truncated:
+            return seg, cycles
+        slot = self._fill(key, tel)
+        slot.columnar = seg
+        return seg, cycles
+
+    def _fill(self, key: bytes, tel) -> _CacheEntry:
+        """The cache slot for ``key``, freshly inserted (with LRU
+        eviction) or refreshed if the other shape already resides."""
+        slot = self._store.get(key)
+        if slot is None:
+            slot = _CacheEntry()
+            self._store[key] = slot
+            if len(self._store) > self.entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+                if tel.enabled:
+                    tel.metrics.counter("ipt.segment_cache.evictions").inc()
+        else:
+            self._store.move_to_end(key)
+        return slot
 
     def decode(self, segment, base: int = 0) -> FastDecodeResult:
         """`fast_decode`-shaped interface for ``fast_decode_parallel``."""

@@ -11,12 +11,14 @@ report realistic fast-path costs.
 from __future__ import annotations
 
 import bisect
+from array import array
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import costs
 from repro.telemetry import get_telemetry
+from repro.ipt.packets import pack_tnt_sig, unpack_tnt_sig
 from repro.itccfg.credits import CreditLabeledITC, CreditLevel
 
 
@@ -28,6 +30,19 @@ class LookupResult:
     credit: CreditLevel
     tnt_ok: bool
     probes: int
+
+
+@dataclass
+class BatchCheckResult:
+    """Outcome of one :meth:`FlowSearchIndex.check_batch` call.
+
+    ``checked`` counts pairs actually verified — the batch stops at the
+    first out-of-graph edge, exactly like the per-edge loop it replaces.
+    """
+
+    violation: Optional[Tuple[int, int]] = None
+    low_credit: List[Tuple[int, int]] = field(default_factory=list)
+    checked: int = 0
 
 
 class FlowSearchIndex:
@@ -60,12 +75,30 @@ class FlowSearchIndex:
         self._targets: List[List[int]] = [
             sorted(succ[source]) for source in self._sources
         ]
+        #: flattened packed mirrors for the batched check: one sorted
+        #: ``array('Q')`` of sources, all target arrays concatenated
+        #: into one ``array('Q')`` with per-source bounds — bisect runs
+        #: on C-contiguous arrays instead of per-source Python lists.
+        self._src_arr: array = array("Q", self._sources)
+        self._tgt_flat: array = array("Q")
+        bounds = array("L", [0] * (len(self._targets) + 1))
+        for index, targets in enumerate(self._targets):
+            self._tgt_flat.extend(targets)
+            bounds[index + 1] = len(self._tgt_flat)
+        self._tgt_bounds: array = bounds
         #: hot cache: high-credit edges with TNT patterns, in separate
         #: memory for fast matching.
         self._hot: Dict[Tuple[int, int], Set[Tuple[bool, ...]]] = {}
+        #: packed-signature mirror of ``_hot`` (kept in lockstep by
+        #: :meth:`promote`) so the batched check matches TNT runs
+        #: without unpacking them into tuples.
+        self._hot_sigs: Dict[Tuple[int, int], Set[int]] = {}
         for (src, dst), label in labeled.labels.items():
             if label.credit is CreditLevel.HIGH:
                 self._hot[(src, dst)] = set(label.tnt_patterns)
+                self._hot_sigs[(src, dst)] = {
+                    pack_tnt_sig(pattern) for pattern in label.tnt_patterns
+                }
         self.cycles = 0.0
 
     # -- maintenance ---------------------------------------------------------
@@ -73,8 +106,10 @@ class FlowSearchIndex:
     def promote(self, src: int, dst: int, tnt: Tuple[bool, ...] = ()) -> None:
         """Mirror a credit promotion into the hot cache."""
         patterns = self._hot.setdefault((src, dst), set())
+        sigs = self._hot_sigs.setdefault((src, dst), set())
         if tnt:
             patterns.add(tuple(tnt))
+            sigs.add(pack_tnt_sig(tnt))
         if self._memo:
             stale = [
                 key for key in self._memo
@@ -174,6 +209,125 @@ class FlowSearchIndex:
             and self.labeled.tnt_matches(src, dst, tnt)
         )
         return LookupResult(True, credit, tnt_ok, probes)
+
+    def check_batch(self, ips: list, sigs: list) -> BatchCheckResult:
+        """Verify a whole window of TIP records in one call.
+
+        ``ips`` are the window's record IPs in stream order; ``sigs``
+        their packed TNT signatures (``sigs[i]`` is the run observed
+        before ``ips[i]``).  Pair *i* is the edge
+        ``ips[i-1] -> ips[i]`` checked with ``sigs[i]`` — exactly the
+        pairs the per-edge loop fed to :meth:`check_edge`.
+
+        This is the batched mirror of :meth:`check_edge`: identical
+        cycle charges in identical order (the cycle model is the
+        measurement instrument), identical memo state transitions and
+        telemetry counters, and the same early stop at the first
+        out-of-graph edge — but one flat loop over packed arrays instead
+        of a method call, tuple key build and dataclass allocation per
+        pair.
+        """
+        outcome = BatchCheckResult()
+        low_credit = outcome.low_credit
+        memo_capacity = self.edge_cache_entries
+        memo = self._memo
+        hot_sigs = self._hot_sigs
+        src_arr = self._src_arr
+        tgt_flat = self._tgt_flat
+        tgt_bounds = self._tgt_bounds
+        src_probes = max(1, len(src_arr).bit_length())
+        credit_probe = costs.CREDIT_CACHE_PROBE_CYCLES
+        search_probe = costs.SEARCH_PROBE_CYCLES
+        memo_probe = costs.EDGE_CACHE_PROBE_CYCLES
+        bisect_left = bisect.bisect_left
+        high = CreditLevel.HIGH
+        low_level = CreditLevel.LOW
+        labeled = self.labeled
+        hit_counter = miss_counter = None
+        if memo_capacity:
+            tel = get_telemetry()
+            if tel.enabled:
+                hit_counter = tel.metrics.counter("itccfg.edge_cache.hits")
+                miss_counter = tel.metrics.counter("itccfg.edge_cache.misses")
+        sig_tuples: Dict[int, Tuple[bool, ...]] = {}
+        checked = 0
+        for index in range(1, len(ips)):
+            src = ips[index - 1]
+            dst = ips[index]
+            sig = sigs[index]
+            checked += 1
+            key = None
+            if memo_capacity:
+                tnt = sig_tuples.get(sig)
+                if tnt is None:
+                    tnt = unpack_tnt_sig(sig)
+                    sig_tuples[sig] = tnt
+                key = (src, dst, tnt)
+                self.cycles += memo_probe
+                cached = memo.get(key)
+                if cached is not None:
+                    memo.move_to_end(key)
+                    self.memo_hits += 1
+                    if hit_counter is not None:
+                        hit_counter.inc()
+                    if not cached.in_graph:
+                        outcome.violation = (src, dst)
+                        break
+                    if cached.credit is not high or not cached.tnt_ok:
+                        low_credit.append((src, dst))
+                    continue
+                self.memo_misses += 1
+                if miss_counter is not None:
+                    miss_counter.inc()
+            # -- uncached lookup (mirrors _check_edge_uncached) --------------
+            probes = 1
+            self.cycles += credit_probe
+            hot = hot_sigs.get((src, dst))
+            if hot is not None:
+                in_graph = True
+                credit = high
+                tnt_ok = not hot or sig in hot
+            else:
+                probes += src_probes
+                self.cycles += src_probes * search_probe
+                position = bisect_left(src_arr, src)
+                if position < len(src_arr) and src_arr[position] == src:
+                    lo = tgt_bounds[position]
+                    hi = tgt_bounds[position + 1]
+                    dst_probes = max(1, (hi - lo).bit_length())
+                    probes += dst_probes
+                    self.cycles += dst_probes * search_probe
+                    slot = bisect_left(tgt_flat, dst, lo, hi)
+                    if slot < hi and tgt_flat[slot] == dst:
+                        in_graph = True
+                        credit = labeled.credit_of(src, dst)
+                        if credit is high:
+                            tnt = sig_tuples.get(sig)
+                            if tnt is None:
+                                tnt = unpack_tnt_sig(sig)
+                                sig_tuples[sig] = tnt
+                            tnt_ok = labeled.tnt_matches(src, dst, tnt)
+                        else:
+                            tnt_ok = False
+                    else:
+                        in_graph = False
+                        credit = low_level
+                        tnt_ok = False
+                else:
+                    in_graph = False
+                    credit = low_level
+                    tnt_ok = False
+            if memo_capacity:
+                memo[key] = LookupResult(in_graph, credit, tnt_ok, probes)
+                if len(memo) > memo_capacity:
+                    memo.popitem(last=False)
+            if not in_graph:
+                outcome.violation = (src, dst)
+                break
+            if credit is not high or not tnt_ok:
+                low_credit.append((src, dst))
+        outcome.checked = checked
+        return outcome
 
     def source_count(self) -> int:
         return len(self._sources)

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 from repro import costs
 from repro.binary.loader import Image
 from repro.telemetry import get_telemetry
+from repro.ipt.columnar import ColumnarTail, columnar_scan
 from repro.ipt.fast_decoder import (
     SegmentDecode,
     TipRecord,
@@ -36,6 +37,10 @@ from repro.ipt.packets import DecodedPacket, PacketError, PacketKind
 from repro.itccfg.credits import CreditLevel
 from repro.itccfg.paths import PathIndex
 from repro.itccfg.searchindex import FlowSearchIndex
+
+#: decode engines a checker can run (``repro.monitor.policy`` and the
+#: CLI validate against this).
+ENGINES = ("columnar", "objects")
 
 
 class Verdict(enum.Enum):
@@ -92,7 +97,17 @@ class FastPathChecker:
         segment_cache=None,
         ledger=None,
         owner_pid: int = -1,
+        engine: str = "columnar",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown decode engine {engine!r}; pick one of {ENGINES}"
+            )
+        #: decode engine: ``"columnar"`` (the default — table-driven
+        #: scan + batched edge check, same verdicts and charged cycles,
+        #: less wall-clock) or ``"objects"`` (the original per-packet
+        #: dataclass engine).
+        self.engine = engine
         self.index = index
         self.image = image
         self.pkt_count = pkt_count
@@ -139,7 +154,15 @@ class FastPathChecker:
         adjacent and fabricate violations.  The failed decode is still
         charged for the bytes scanned, and the downgrade lands in the
         ledger (``corrupt-segment``, ``cache-bypass``, ``psb-resync``).
+
+        With the columnar engine this 4-tuple shape is served by
+        materialising the columnar tail — identical records, packets
+        (lazily) and cycles; the engine-native entry point the check
+        loop uses is :meth:`decode_tail_columnar`.
         """
+        if self.engine == "columnar":
+            tail = self.decode_tail_columnar(data)
+            return tail.records(), tail.lazy_packets(), tail.cycles, tail.start
         self.last_corrupt_segments = 0
         offsets = psb_offsets(data)
         if not offsets:
@@ -186,6 +209,51 @@ class FastPathChecker:
                 break
         return records, packets, cycles, start
 
+    def decode_tail_columnar(self, data: bytes) -> ColumnarTail:
+        """Columnar mirror of :meth:`decode_tail`: the same backward
+        walk, corrupt/truncated-segment handling and charged cycles (the
+        identical accumulation expressions, term for term), but segments
+        stay columnar — prepending is O(1) and the TNT stitch is a
+        signature composition, with nothing materialised until the check
+        loop asks for its window."""
+        self.last_corrupt_segments = 0
+        tail = ColumnarTail()
+        offsets = psb_offsets(data)
+        if not offsets:
+            tail.start = len(data)
+            return tail
+        bounds = offsets + [len(data)]
+        view = memoryview(data)
+        cycles = 0.0
+        start = offsets[-1]
+        for index in range(len(offsets) - 1, -1, -1):
+            try:
+                seg, seg_cycles = self._decode_segment_columnar(
+                    view, offsets[index], bounds[index + 1]
+                )
+            except PacketError:
+                cycles += self._corrupt_segment(
+                    offsets[index], bounds[index + 1], tail.count > 0
+                )
+                break
+            if seg.truncated and index < len(offsets) - 1:
+                # Same rule as the object walk: only the final segment
+                # of a clean stream may end mid-packet.
+                cycles += seg_cycles + self._corrupt_segment(
+                    offsets[index], bounds[index + 1], tail.count > 0
+                )
+                break
+            cycles += seg_cycles
+            tail.prepend(seg, offsets[index])
+            start = offsets[index]
+            if tail.count > self.pkt_count and self._spans_modules_ips(
+                tail.last_ips(self.pkt_count + 1)
+            ):
+                break
+        tail.cycles = cycles
+        tail.start = start
+        return tail
+
     def _corrupt_segment(self, begin: int, end: int, resynced: bool) -> float:
         """Account one undecodable segment; returns the cycles the
         failed decode burned (the decoder scanned up to the corruption,
@@ -224,13 +292,31 @@ class FastPathChecker:
             result.cycles, result.truncated,
         )
 
+    def _decode_segment_columnar(self, view, begin: int, end: int):
+        """One PSB segment in columnar form, via the cache if attached;
+        returns ``(segment, charged_cycles)`` — the columns stay
+        segment-relative, the caller carries ``begin`` as the base."""
+        if self.segment_cache is not None:
+            return self.segment_cache.decode_segment_columnar(
+                view[begin:end]
+            )
+        seg = columnar_scan(view[begin:end])
+        return seg, seg.cycles
+
     def _spans_modules(self, records: List[TipRecord]) -> bool:
+        if not (self.require_cross_module or self.require_executable):
+            return True
+        return self._spans_modules_ips(
+            [record.ip for record in records[-(self.pkt_count + 1):]]
+        )
+
+    def _spans_modules_ips(self, ips: list) -> bool:
         if not (self.require_cross_module or self.require_executable):
             return True
         modules = set()
         has_exec = False
-        for record in records[-(self.pkt_count + 1):]:
-            lm = self.image.module_of(record.ip)
+        for ip in ips:
+            lm = self.image.module_of(ip)
             if lm is None:
                 continue
             modules.add(lm.name)
@@ -272,6 +358,8 @@ class FastPathChecker:
         return result
 
     def _check(self, data: bytes) -> FastPathResult:
+        if self.engine == "columnar":
+            return self._check_columnar(data)
         records, packets, decode_cycles, start = self.decode_tail(data)
         corrupt = self.last_corrupt_segments
         if len(records) < 2:
@@ -315,6 +403,67 @@ class FastPathChecker:
             # have been trained, not just the individual edges.
             nodes = [record.ip for record in window]
             untrained = self.path_index.untrained_grams(nodes)
+            if untrained:
+                verdict = Verdict.SUSPICIOUS
+                low_credit.extend(
+                    (gram[0], gram[1]) for gram in untrained[:4]
+                )
+        return FastPathResult(
+            verdict,
+            checked_pairs=checked,
+            low_credit_pairs=low_credit,
+            decode_cycles=decode_cycles,
+            search_cycles=search_cycles,
+            window=window,
+            window_offset=start,
+            packets=packets,
+            corrupt_segments=corrupt,
+        )
+
+    def _check_columnar(self, data: bytes) -> FastPathResult:
+        """The columnar fast path: columnar tail + one batched edge
+        check.  Window records materialise eagerly (they are at most
+        ``pkt_count + 1`` and feed telemetry/slow-path hand-off); the
+        tail's packets stay lazy."""
+        tail = self.decode_tail_columnar(data)
+        corrupt = self.last_corrupt_segments
+        decode_cycles = tail.cycles
+        start = tail.start
+        packets = tail.lazy_packets()
+        if tail.count < 2:
+            return FastPathResult(
+                Verdict.INSUFFICIENT,
+                decode_cycles=decode_cycles,
+                window=tail.records(),
+                window_offset=start,
+                packets=packets,
+                corrupt_segments=corrupt,
+            )
+        window, ips, sigs = tail.window(self.pkt_count + 1)
+        search_before = self.index.cycles
+        batch = self.index.check_batch(ips, sigs)
+        search_cycles = self.index.cycles - search_before
+        if batch.violation is not None:
+            return FastPathResult(
+                Verdict.VIOLATION,
+                checked_pairs=batch.checked,
+                violation_edge=batch.violation,
+                decode_cycles=decode_cycles,
+                search_cycles=search_cycles,
+                window=window,
+                window_offset=start,
+                packets=packets,
+                corrupt_segments=corrupt,
+            )
+        low_credit = batch.low_credit
+        checked = batch.checked
+        high = checked - len(low_credit)
+        ratio = high / checked if checked else 0.0
+        verdict = (
+            Verdict.PASS if ratio >= self.cred_ratio else Verdict.SUSPICIOUS
+        )
+        if verdict is Verdict.PASS and self.path_index is not None:
+            untrained = self.path_index.untrained_grams(ips)
             if untrained:
                 verdict = Verdict.SUSPICIOUS
                 low_credit.extend(

@@ -210,6 +210,7 @@ class FlowGuardMonitor:
             segment_cache=self.segment_cache,
             ledger=self.degradations,
             owner_pid=process.pid,
+            engine=self.policy.engine,
         )
         slow = SlowPathEngine(process.machine.memory, ocfg)
         pp = ProtectedProcess(
@@ -570,6 +571,7 @@ class FlowGuardMonitor:
                 "endpoints": sorted(self.policy.endpoints),
                 "check_on_pmi": self.policy.check_on_pmi,
                 "path_sensitive": self.policy.path_sensitive,
+                "engine": self.policy.engine,
             },
             "processes": [
                 {

@@ -53,6 +53,11 @@ class FlowGuardPolicy:
     segment_cache_entries: int = 0
     #: per-index (src, dst, tnt) verdict memo capacity; 0 disables it.
     edge_cache_entries: int = 0
+    #: fast-path decode engine: ``"columnar"`` (table-driven scan +
+    #: batched edge check — the default; identical verdicts and charged
+    #: cycles, materially less wall-clock) or ``"objects"`` (the
+    #: original per-packet dataclass engine).
+    engine: str = "columnar"
 
     # -- serialisation -------------------------------------------------------
 
@@ -92,4 +97,5 @@ class FlowGuardPolicy:
             psb_period=self.psb_period,
             segment_cache_entries=self.segment_cache_entries,
             edge_cache_entries=self.edge_cache_entries,
+            engine=self.engine,
         )

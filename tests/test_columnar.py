@@ -1,0 +1,798 @@
+"""Columnar decode engine correctness.
+
+The contract under test is *engine equivalence*: the columnar engine
+(table-driven scan into packed columns + one batched edge check) must be
+observationally identical to the object engine — same TIP records,
+trailing stitch state, truncation flags, ``PacketError`` messages,
+charged cycles, verdicts, ledgers — with only wall-clock allowed to
+differ.  The suite covers scan parity on synthetic and real traces
+(including every truncation cut and random corruption), ``check_batch``
+vs the per-edge loop (verdicts, cycles, memo state, ``promote``
+invalidation), the dual-shape segment cache, zero-copy slicing, the
+engine knob plumbing, the full attack-matrix oracle through both
+engines, and fleet-level parity under fault injection.
+"""
+
+import random
+
+import pytest
+
+from repro import costs, telemetry
+from repro.attacks import (
+    build_flushing_request,
+    build_retlib_request,
+    build_rop_request,
+    build_srop_request,
+    run_recon,
+)
+from repro.fleet import FleetConfig, FleetService, RingPolicy
+from repro.fleet.workers import ThreadedSliceDecoder
+from repro.ipt.columnar import (
+    ColumnarSegment,
+    LazyPackets,
+    NO_IP,
+    columnar_decode_parallel,
+    columnar_scan,
+)
+from repro.ipt.fast_decoder import (
+    fast_decode,
+    fast_decode_parallel,
+    psb_offsets,
+)
+from repro.ipt.packets import (
+    FUP_HEADER,
+    OVF_BYTE,
+    PAD_BYTE,
+    PSBEND_BYTE,
+    PSB_PATTERN,
+    PacketError,
+    TIP_HEADER,
+    TIP_PGD_HEADER,
+    TIP_PGE_HEADER,
+    compose_tnt_sigs,
+    encode_ip_packet,
+    encode_tnt,
+    pack_tnt_sig,
+    unpack_tnt_sig,
+)
+from repro.ipt.segment_cache import SegmentDecodeCache
+from repro.itccfg import FlowSearchIndex
+from repro.monitor import FlowGuardPolicy
+from repro.monitor.fastpath import ENGINES, FastPathChecker
+from repro.osmodel import Kernel, ProcessState
+from repro.pipeline import FlowGuardPipeline
+from repro.resilience import FaultPlan
+from repro.workloads import (
+    build_libsim,
+    build_nginx,
+    build_vdso,
+    nginx_request,
+)
+
+LIBS = {"libsim.so": build_libsim()}
+SEG_ENTRIES = 64
+EDGE_ENTRIES = 1024
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return FlowGuardPipeline.offline(
+        "nginx",
+        build_nginx(),
+        LIBS,
+        vdso=build_vdso(),
+        corpus=[
+            nginx_request("/index.html"),
+            nginx_request("/x", "POST", b"small-body"),
+            nginx_request("/y", "HEAD"),
+        ],
+        mode="socket",
+    )
+
+
+@pytest.fixture(scope="module")
+def recon():
+    return run_recon(build_nginx(), LIBS, vdso=build_vdso())
+
+
+@pytest.fixture(scope="module")
+def trace(pipeline):
+    kernel = Kernel()
+    kernel.fs.create("/index.html", b"<html>x</html>")
+    monitor, proc = pipeline.deploy(kernel)
+    for _ in range(4):
+        proc.push_connection(nginx_request("/index.html"))
+    kernel.run(proc)
+    pp = monitor.protected_for(proc)
+    pp.encoder.flush()
+    return bytes(pp.topa.snapshot()), proc.image
+
+
+def snapshot_cuts(data, count=10):
+    step = max(64, len(data) // count)
+    return list(range(step, len(data), step)) + [len(data)]
+
+
+def make_checker(pipeline, image, cached, **kwargs):
+    cache = SegmentDecodeCache(SEG_ENTRIES) if cached else None
+    index = FlowSearchIndex(
+        pipeline.labeled,
+        edge_cache_entries=EDGE_ENTRIES if cached else 0,
+    )
+    checker = FastPathChecker(
+        index, image, pkt_count=kwargs.pop("pkt_count", 12),
+        require_cross_module=False, require_executable=False,
+        segment_cache=cache, **kwargs,
+    )
+    return checker, cache, index
+
+
+def fingerprint(result):
+    """Everything verdict-relevant about a FastPathResult.  Touching
+    ``result.packets`` also forces the columnar engine's lazy packets,
+    so packet parity rides along."""
+    return (
+        result.verdict.value,
+        result.checked_pairs,
+        tuple(result.low_credit_pairs),
+        result.violation_edge,
+        result.window_offset,
+        result.corrupt_segments,
+        tuple(
+            (r.ip, r.tnt_before, r.offset, r.after_far)
+            for r in result.window
+        ),
+        tuple(
+            (p.kind.value, p.offset, p.bits, p.ip)
+            for p in result.packets
+        ),
+    )
+
+
+def build_stream(seed, packets=300):
+    """A deterministic random-but-valid packet stream exercising every
+    packet kind, IP compression width changes and suppressed IPs."""
+    rng = random.Random(seed)
+    out = bytearray(PSB_PATTERN)
+    out.append(PSBEND_BYTE)
+    addresses = (
+        [0x400000 + 16 * i for i in range(48)]
+        + [0x7F0000000000 + 32 * i for i in range(16)]
+    )
+    last_ip = 0
+    for _ in range(packets):
+        roll = rng.random()
+        if roll < 0.35:
+            bits = tuple(
+                rng.random() < 0.5 for _ in range(rng.randint(1, 6))
+            )
+            out += encode_tnt(bits)
+        elif roll < 0.70:
+            header = rng.choice(
+                (TIP_HEADER, TIP_HEADER, TIP_HEADER,
+                 TIP_PGE_HEADER, TIP_PGD_HEADER)
+            )
+            target = (
+                None if rng.random() < 0.1 else rng.choice(addresses)
+            )
+            encoded, last_ip = encode_ip_packet(header, target, last_ip)
+            out += encoded
+        elif roll < 0.80:
+            encoded, last_ip = encode_ip_packet(
+                FUP_HEADER, rng.choice(addresses), last_ip
+            )
+            out += encoded
+        elif roll < 0.88:
+            out.append(PAD_BYTE)
+        elif roll < 0.96:
+            out += PSB_PATTERN
+            out.append(PSBEND_BYTE)
+            last_ip = 0
+        else:
+            out.append(OVF_BYTE)
+    return bytes(out)
+
+
+def assert_scan_parity(data, sync=False):
+    """Both engines agree on everything, including the error message."""
+    try:
+        col = columnar_scan(data, sync=sync)
+        col_error = None
+    except PacketError as exc:
+        col, col_error = None, str(exc)
+    try:
+        obj = fast_decode(data, sync=sync)
+        obj_error = None
+    except PacketError as exc:
+        obj, obj_error = None, str(exc)
+    assert col_error == obj_error
+    if obj is None:
+        return
+    obj_records, obj_trailing, obj_far = obj.tip_records_with_state()
+    col_records, col_trailing, col_far = col.tip_records_with_state()
+    assert col_records == obj_records
+    assert col_trailing == obj_trailing
+    assert col_far == obj_far
+    assert col.cycles == obj.cycles
+    assert col.truncated == obj.truncated
+    assert col.synced_offset == obj.synced_offset
+    assert col.packets() == obj.packets
+    assert col.fup_addresses() == obj.fup_ips()
+
+
+class TestScanParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_synthetic_streams(self, seed):
+        assert_scan_parity(build_stream(seed))
+
+    def test_real_trace(self, trace):
+        data, _ = trace
+        assert_scan_parity(data)
+
+    def test_every_truncation_cut(self):
+        data = build_stream(7, packets=60)
+        for cut in range(len(data) + 1):
+            assert_scan_parity(data[:cut])
+
+    def test_corruption_flips(self):
+        data = build_stream(11, packets=80)
+        rng = random.Random(99)
+        for _ in range(150):
+            position = rng.randrange(len(data))
+            flipped = bytearray(data)
+            flipped[position] ^= 1 << rng.randrange(8)
+            assert_scan_parity(bytes(flipped))
+
+    def test_sync_skips_garbage_prefix(self):
+        data = b"\xde\xad\xbe\xef" + build_stream(3, packets=40)
+        assert_scan_parity(data, sync=True)
+
+    def test_sync_without_psb(self):
+        seg = columnar_scan(b"\xde\xad\xbe\xef", sync=True)
+        assert seg.record_count == 0
+        assert seg.synced_offset == 4
+        assert seg.cycles == 0.0
+
+    def test_empty(self):
+        assert_scan_parity(b"")
+
+    def test_telemetry_counters_match(self, trace):
+        data, _ = trace
+        totals = []
+        for scan in (fast_decode, columnar_scan):
+            with telemetry.capture() as tel:
+                scan(data)
+                totals.append({
+                    name: tel.metrics.counter(name).total()
+                    for name in (
+                        "ipt.fast_decode.calls",
+                        "ipt.fast_decode.bytes",
+                        "ipt.fast_decode.packets",
+                    )
+                })
+        assert totals[0] == totals[1]
+        assert totals[0]["ipt.fast_decode.bytes"] == len(data)
+
+    def test_lazy_packets_do_not_count(self, trace):
+        """Materialising packets from a columnar segment must not
+        re-meter the scan (the columnar scan already counted it)."""
+        data, _ = trace
+        seg = columnar_scan(data)
+        with telemetry.capture() as tel:
+            seg.packets()
+            assert tel.metrics.counter("ipt.fast_decode.calls").total() == 0
+
+
+class TestPackedSigs:
+    @pytest.mark.parametrize("bits", [
+        (), (True,), (False,), (True, False, True),
+        (False,) * 9, (True, False) * 7,
+    ])
+    def test_roundtrip(self, bits):
+        assert unpack_tnt_sig(pack_tnt_sig(bits)) == tuple(bits)
+
+    def test_compose_is_concatenation(self):
+        front = (True, False, False)
+        back = (False, True)
+        assert compose_tnt_sigs(
+            pack_tnt_sig(front), pack_tnt_sig(back)
+        ) == pack_tnt_sig(front + back)
+
+    def test_compose_empty_identity(self):
+        sig = pack_tnt_sig((True, False))
+        assert compose_tnt_sigs(1, sig) == sig
+        assert compose_tnt_sigs(sig, 1) == sig
+
+    def test_injective_on_prefix_runs(self):
+        # A run of not-taken bits must not collapse into the empty run.
+        assert pack_tnt_sig((False,)) != pack_tnt_sig(())
+        assert pack_tnt_sig((False, False)) != pack_tnt_sig((False,))
+
+
+class TestCheckBatch:
+    def _window(self, pipeline, trace, cut):
+        data, image = trace
+        checker, _, _ = make_checker(pipeline, image, cached=False)
+        tail = checker.decode_tail_columnar(data[:cut])
+        return tail.window(checker.pkt_count + 1)
+
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_matches_edge_loop(self, pipeline, trace, cached):
+        data, image = trace
+        entries = EDGE_ENTRIES if cached else 0
+        loop_index = FlowSearchIndex(
+            pipeline.labeled, edge_cache_entries=entries
+        )
+        batch_index = FlowSearchIndex(
+            pipeline.labeled, edge_cache_entries=entries
+        )
+        for cut in snapshot_cuts(data):
+            records, ips, sigs = self._window(pipeline, trace, cut)
+            # Reference: the object engine's per-edge loop.
+            violation = None
+            low_credit = []
+            checked = 0
+            for prev, cur in zip(records, records[1:]):
+                lookup = loop_index.check_edge(
+                    prev.ip, cur.ip, cur.tnt_before
+                )
+                checked += 1
+                if not lookup.in_graph:
+                    violation = (prev.ip, cur.ip)
+                    break
+                if not lookup.tnt_ok or lookup.credit.name != "HIGH":
+                    low_credit.append((prev.ip, cur.ip))
+            batch = batch_index.check_batch(ips, sigs)
+            assert batch.violation == violation
+            assert batch.checked == checked
+            if violation is None:
+                assert batch.low_credit == low_credit
+            assert batch_index.cycles == loop_index.cycles
+            assert batch_index.memo_hits == loop_index.memo_hits
+            assert batch_index.memo_misses == loop_index.memo_misses
+
+    def test_violation_early_stop(self, pipeline, trace):
+        records, ips, sigs = self._window(
+            pipeline, trace, len(trace[0])
+        )
+        assert len(ips) > 3
+        evil = 0xDEAD0000
+        ips = ips[:2] + [evil] + ips[2:]
+        sigs = sigs[:2] + [1] + sigs[2:]
+        index = FlowSearchIndex(pipeline.labeled)
+        batch = index.check_batch(ips, sigs)
+        assert batch.violation == (ips[1], evil)
+        assert batch.checked == 2
+
+    def test_promote_keeps_parity(self, pipeline, trace):
+        records, ips, sigs = self._window(
+            pipeline, trace, len(trace[0])
+        )
+        pairs = list(zip(records, records[1:]))
+        promoted = pairs[len(pairs) // 2]
+        loop_index = FlowSearchIndex(
+            pipeline.labeled, edge_cache_entries=EDGE_ENTRIES
+        )
+        batch_index = FlowSearchIndex(
+            pipeline.labeled, edge_cache_entries=EDGE_ENTRIES
+        )
+        for prev, cur in pairs:
+            loop_index.check_edge(prev.ip, cur.ip, cur.tnt_before)
+        batch_index.check_batch(ips, sigs)
+        for index in (loop_index, batch_index):
+            index.promote(
+                promoted[0].ip, promoted[1].ip, promoted[1].tnt_before
+            )
+        batch = batch_index.check_batch(ips, sigs)
+        low_credit = []
+        for prev, cur in pairs:
+            lookup = loop_index.check_edge(prev.ip, cur.ip, cur.tnt_before)
+            assert lookup.in_graph
+            if not lookup.tnt_ok or lookup.credit.name != "HIGH":
+                low_credit.append((prev.ip, cur.ip))
+        assert batch.low_credit == low_credit
+        assert batch_index.cycles == loop_index.cycles
+        assert (promoted[0].ip, promoted[1].ip) not in batch.low_credit
+
+    def test_short_windows(self, pipeline):
+        index = FlowSearchIndex(pipeline.labeled)
+        assert index.check_batch([], []).checked == 0
+        assert index.check_batch([0x400000], [1]).checked == 0
+        assert index.cycles == 0.0
+
+
+class TestCheckerParity:
+    """Both engines produce bit-identical FastPathResults and charged
+    cycles over real snapshot series, cached and uncached."""
+
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_snapshot_series(self, pipeline, trace, cached):
+        data, image = trace
+        objects, _, obj_index = make_checker(
+            pipeline, image, cached, engine="objects"
+        )
+        columnar, _, col_index = make_checker(
+            pipeline, image, cached, engine="columnar"
+        )
+        for cut in snapshot_cuts(data, count=12):
+            obj_result = objects.check(data[:cut])
+            col_result = columnar.check(data[:cut])
+            assert fingerprint(col_result) == fingerprint(obj_result)
+            assert col_result.decode_cycles == obj_result.decode_cycles
+            assert col_result.search_cycles == obj_result.search_cycles
+        assert col_index.cycles == obj_index.cycles
+
+    def test_decode_tail_legacy_shape(self, pipeline, trace):
+        """The columnar checker's decode_tail keeps the legacy 4-tuple
+        contract: records, packets, cycles, start."""
+        data, image = trace
+        objects, _, _ = make_checker(
+            pipeline, image, cached=False, engine="objects"
+        )
+        columnar, _, _ = make_checker(
+            pipeline, image, cached=False, engine="columnar"
+        )
+        for cut in snapshot_cuts(data, count=6):
+            obj_records, obj_packets, obj_cycles, obj_start = (
+                objects.decode_tail(data[:cut])
+            )
+            col_records, col_packets, col_cycles, col_start = (
+                columnar.decode_tail(data[:cut])
+            )
+            assert col_records == obj_records
+            assert isinstance(col_packets, LazyPackets)
+            assert col_packets == obj_packets
+            assert col_cycles == obj_cycles
+            assert col_start == obj_start
+
+    def test_corrupted_segment_parity(self, pipeline, trace):
+        """A mid-trace corruption degrades both engines identically
+        (same verdict, same corrupt-segment count, same cycles)."""
+        data, image = trace
+        offsets = psb_offsets(data)
+        assert len(offsets) >= 2
+        corrupt = bytearray(data)
+        corrupt[offsets[1] + 9] = 0xFF  # desync inside segment 1
+        corrupt = bytes(corrupt)
+        for cut in snapshot_cuts(corrupt, count=6):
+            objects, _, _ = make_checker(
+                pipeline, image, cached=False, engine="objects"
+            )
+            columnar, _, _ = make_checker(
+                pipeline, image, cached=False, engine="columnar"
+            )
+            obj_result = objects.check(corrupt[:cut])
+            col_result = columnar.check(corrupt[:cut])
+            assert fingerprint(col_result) == fingerprint(obj_result)
+            assert col_result.decode_cycles == obj_result.decode_cycles
+
+
+SECURITY_MATRIX = [
+    ("rop", build_rop_request),
+    ("srop", build_srop_request),
+    ("retlib", build_retlib_request),
+    ("flushing", build_flushing_request),
+]
+
+
+class TestEngineOracle:
+    """Satellite oracle: the full attack matrix through both engines,
+    asserting identical detections and process fate."""
+
+    @pytest.mark.parametrize(
+        "name,build", SECURITY_MATRIX, ids=[n for n, _ in SECURITY_MATRIX]
+    )
+    def test_attack_matrix(self, name, build, pipeline, recon):
+        outcomes = []
+        for engine in ENGINES:
+            kernel = Kernel()
+            kernel.fs.create("/index.html", b"<html>x</html>")
+            monitor, proc = pipeline.deploy(
+                kernel, policy=FlowGuardPolicy(engine=engine)
+            )
+            proc.push_connection(build(recon))
+            kernel.run(proc)
+            outcomes.append(
+                ([d.syscall_nr for d in monitor.detections], proc.state)
+            )
+        detections, state = outcomes[0]
+        assert detections, f"{name} went undetected"
+        assert state is ProcessState.KILLED
+        assert outcomes[0] == outcomes[1], (
+            f"{name}: engines diverged: {outcomes}"
+        )
+
+    def test_fleet_fault_injection_parity(self):
+        """Fleet runs under the standard fault mix: verdict sequences,
+        quarantines, monitor cycles and the degradation ledger are
+        engine-independent, and the cycle ledger reconciles exactly."""
+        outcomes = []
+        for engine in ENGINES:
+            config = FleetConfig(
+                workers=2,
+                ring_policy=RingPolicy.STALL,
+                max_queue_depth=1_000_000,
+                segment_cache_entries=SEG_ENTRIES,
+                edge_cache_entries=EDGE_ENTRIES,
+                engine=engine,
+                faults=FaultPlan.standard_mix(seed=5),
+            )
+            with telemetry.capture():
+                service = FleetService(config)
+                service.kernel.fs.create(
+                    "/index.html", b"<html>x</html>"
+                )
+                from repro.experiments.common import (
+                    seed_server_fs,
+                    server_pipeline,
+                    server_requests,
+                )
+                seed_server_fs(service.kernel)
+                service.add_workload(
+                    server_pipeline("nginx"),
+                    server_requests("nginx", 1),
+                )
+                result = service.run()
+                reconciliation = service.reconcile()
+            verdicts = [
+                (t.pid, t.kind, t.syscall_nr, t.verdict, t.degraded)
+                for t in service.dispatcher.tasks
+            ]
+            resilience = result.resilience or {}
+            outcomes.append({
+                "verdicts": verdicts,
+                "quarantined": result.quarantined_pids,
+                "monitor_cycles": result.monitor_cycles,
+                "ledger": resilience.get("degradations"),
+                "accounting_exact": result.accounting["exact"],
+                "reconcile_exact": bool(
+                    reconciliation and reconciliation["exact"]
+                ),
+            })
+        assert outcomes[0]["accounting_exact"]
+        assert outcomes[0]["reconcile_exact"]
+        assert outcomes[0] == outcomes[1]
+
+
+class TestSegmentCacheDualShape:
+    def _segment(self, trace):
+        data, _ = trace
+        offsets = psb_offsets(data)
+        view = memoryview(data)
+        return view[offsets[0]:offsets[1]]
+
+    def test_other_shape_is_honest_miss(self, trace):
+        segment = self._segment(trace)
+        cache = SegmentDecodeCache(8)
+        cache.decode_segment_columnar(segment)
+        assert (cache.hits, cache.misses) == (0, 1)
+        # Same key, other shape: the object decode really runs.
+        cache.decode_segment(segment)
+        assert (cache.hits, cache.misses) == (0, 2)
+        # Now both shapes are resident; both probe paths hit.
+        cache.decode_segment_columnar(segment)
+        cache.decode_segment(segment)
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert len(cache) == 1  # one slot, two shapes
+
+    def test_hit_cycles_match_object_path(self, trace):
+        segment = self._segment(trace)
+        size = len(segment)
+        cache = SegmentDecodeCache(8)
+        cache.decode_segment_columnar(segment)
+        _, hit_cycles = cache.decode_segment_columnar(segment)
+        assert hit_cycles == (
+            size * costs.SEGMENT_CACHE_HASH_CYCLES_PER_BYTE
+            + costs.SEGMENT_CACHE_PROBE_CYCLES
+        )
+
+    def test_miss_cycles_charge_scan(self, trace):
+        segment = self._segment(trace)
+        cache = SegmentDecodeCache(8)
+        seg, cycles = cache.decode_segment_columnar(segment)
+        assert cycles == (
+            len(segment) * costs.SEGMENT_CACHE_HASH_CYCLES_PER_BYTE
+            + seg.cycles
+        )
+
+    def test_truncated_never_cached(self, trace):
+        data, _ = trace
+        offsets = psb_offsets(data)
+        view = memoryview(data)
+        whole = view[offsets[0]:offsets[1]]
+        truncated = next(
+            whole[:cut] for cut in range(len(whole) - 1, 0, -1)
+            if fast_decode(bytes(whole[:cut])).truncated
+        )
+        cache = SegmentDecodeCache(8)
+        seg, _ = cache.decode_segment_columnar(truncated)
+        assert seg.truncated
+        assert len(cache) == 0
+        cache.decode_segment_columnar(truncated)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_cached_segment_is_zero_copy(self, trace):
+        data, _ = trace
+        segment = self._segment(trace)
+        cache = SegmentDecodeCache(8)
+        seg, _ = cache.decode_segment_columnar(segment)
+        assert isinstance(seg.data, memoryview)
+        assert seg.data.obj is data
+
+    def test_columnar_parallel_through_cache(self, trace):
+        """`columnar_decode_parallel` with a cache matches the object
+        parallel decode and reuses resident segments."""
+        data, _ = trace
+        cache = SegmentDecodeCache(SEG_ENTRIES)
+        first = columnar_decode_parallel(data, cache=cache)
+        second = columnar_decode_parallel(data, cache=cache)
+        reference = fast_decode_parallel(data)
+        assert first.packets == reference.packets
+        assert second.packets == reference.packets
+        assert first.cycles != second.cycles  # hits are cheaper
+        assert cache.hits > 0
+
+
+class TestZeroCopy:
+    def test_decode_tail_columnar_slices_zero_copy(
+        self, pipeline, trace, monkeypatch
+    ):
+        data, image = trace
+        seen = []
+        real = columnar_scan
+
+        def spy(segment, *args, **kwargs):
+            seen.append(segment)
+            return real(segment, *args, **kwargs)
+
+        import repro.monitor.fastpath as fastpath
+
+        monkeypatch.setattr(fastpath, "columnar_scan", spy)
+        checker, _, _ = make_checker(
+            pipeline, image, cached=False, engine="columnar"
+        )
+        checker.decode_tail(data)
+        assert seen
+        for segment in seen:
+            assert isinstance(segment, memoryview)
+            assert segment.obj is data
+
+    def test_parallel_scan_slices_zero_copy(self, trace):
+        data, _ = trace
+        result = columnar_decode_parallel(data)
+        assert result.columns
+        for seg, _ in result.columns:
+            assert isinstance(seg.data, memoryview)
+            assert seg.data.obj is data
+
+
+class TestEngineKnob:
+    def test_checker_rejects_unknown_engine(self, pipeline, trace):
+        _, image = trace
+        with pytest.raises(ValueError, match="unknown decode engine"):
+            FastPathChecker(
+                FlowSearchIndex(pipeline.labeled), image,
+                engine="vectorised",
+            )
+
+    def test_threaded_decoder_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown decode engine"):
+            ThreadedSliceDecoder(2, engine="simd")
+
+    def test_policy_defaults_and_roundtrip(self):
+        policy = FlowGuardPolicy()
+        assert policy.engine == "columnar"
+        objects = FlowGuardPolicy(engine="objects")
+        assert FlowGuardPolicy.from_dict(objects.to_dict()).engine == (
+            "objects"
+        )
+        assert objects.with_endpoints(999).engine == "objects"
+
+    def test_fleet_config_roundtrip(self):
+        config = FleetConfig(engine="objects")
+        assert FleetConfig.from_dict(config.to_dict()).engine == "objects"
+        assert FleetConfig().engine == "columnar"
+
+    def test_cli_engine_flag(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["stats", "nginx"]).engine == "columnar"
+        args = parser.parse_args(
+            ["stats", "nginx", "--engine", "objects"]
+        )
+        assert args.engine == "objects"
+        assert parser.parse_args(
+            ["fleet", "--engine", "objects"]
+        ).engine == "objects"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stats", "nginx", "--engine", "simd"])
+
+    def test_policy_engine_reaches_checker(self, pipeline):
+        kernel = Kernel()
+        kernel.fs.create("/index.html", b"<html>x</html>")
+        monitor, proc = pipeline.deploy(
+            kernel, policy=FlowGuardPolicy(engine="objects")
+        )
+        assert monitor.protected_for(proc).checker.engine == "objects"
+
+
+class TestDecodeResultMemos:
+    """Satellite regression: derived views of a FastDecodeResult are
+    computed once and shared, not rescanned per access."""
+
+    def test_tip_state_single_scan(self, trace):
+        data, _ = trace
+        result = fast_decode(data)
+        first = result.tip_records_with_state()
+        assert result.tip_records_with_state() is first
+        assert result.tip_records() is first[0]
+
+    def test_fup_ips_single_scan(self, trace):
+        data, _ = trace
+        result = fast_decode(data)
+        assert result.fup_ips() is result.fup_ips()
+
+
+class TestPsbOffsetsMemoryview:
+    """Satellite regression: memoryview input takes the same scan path
+    as bytes (one conversion up front, identical offsets)."""
+
+    def test_parity_with_bytes(self, trace):
+        data, _ = trace
+        assert psb_offsets(memoryview(data)) == psb_offsets(data)
+
+    def test_parity_on_slices(self, trace):
+        data, _ = trace
+        view = memoryview(data)
+        for cut in snapshot_cuts(data, count=5):
+            assert psb_offsets(view[:cut]) == psb_offsets(data[:cut])
+
+    def test_synthetic(self):
+        data = build_stream(5, packets=50)
+        assert psb_offsets(memoryview(data)) == psb_offsets(data)
+
+
+class TestColumnarSegmentViews:
+    def test_record_accessors(self):
+        data = build_stream(13, packets=120)
+        seg = columnar_scan(data)
+        records = fast_decode(data).tip_records()
+        assert seg.record_count == len(records)
+        for index, record in enumerate(records):
+            assert seg.record_ip(index) == record.ip
+            assert unpack_tnt_sig(seg.record_sig(index)) == (
+                record.tnt_before
+            )
+            assert seg.materialise_record(index) == record
+            rebased = seg.materialise_record(index, base=100)
+            assert rebased.offset == record.offset + 100
+
+    def test_suppressed_ip_uses_sentinel(self):
+        stream = bytearray(PSB_PATTERN)
+        stream.append(PSBEND_BYTE)
+        encoded, last = encode_ip_packet(TIP_HEADER, 0x400010, 0)
+        stream += encoded
+        encoded, _ = encode_ip_packet(TIP_HEADER, None, last)
+        stream += encoded
+        seg = columnar_scan(bytes(stream))
+        assert list(seg.rec_ips) == [0x400010, NO_IP]
+        assert seg.record_ip(1) is None
+        records = seg.tip_records()
+        assert records[1].ip is None
+
+    def test_lazy_packets_sequence_protocol(self):
+        tail_data = build_stream(17, packets=80)
+        seg = columnar_scan(tail_data)
+        packets = fast_decode(tail_data).packets
+        from repro.ipt.columnar import ColumnarTail
+
+        tail = ColumnarTail()
+        tail.prepend(seg, 0)
+        lazy = tail.lazy_packets()
+        assert len(lazy) == len(packets)
+        assert lazy[0] == packets[0]
+        assert list(lazy) == packets
+        assert lazy == packets
+        assert bool(lazy)
+        assert not bool(ColumnarTail().lazy_packets())

@@ -447,7 +447,11 @@ class TestZeroCopy:
         import repro.monitor.fastpath as fastpath
 
         monkeypatch.setattr(fastpath, "fast_decode", spy)
-        checker, _, _ = make_checker(pipeline, image, cached=False)
+        # The spy instruments the object engine; the columnar engine's
+        # zero-copy contract is asserted in tests/test_columnar.py.
+        checker, _, _ = make_checker(
+            pipeline, image, cached=False, engine="objects"
+        )
         checker.decode_tail(data)
         assert seen
         for segment in seen:
