@@ -52,6 +52,11 @@ from repro.resilience import (
     RetryPolicy,
 )
 from repro.stats_report import SCHEMA_VERSION, StatsReport
+from repro.telemetry.plane import (
+    ObservabilityPlane,
+    SLOConfig,
+    SLObjective,
+)
 
 __all__ = [
     "FaultPlan",
@@ -66,10 +71,13 @@ __all__ = [
     "InjectedFault",
     "Kernel",
     "Monitor",
+    "ObservabilityPlane",
     "RetryPolicy",
     "RingPolicy",
     "RunConfig",
     "SCHEMA_VERSION",
+    "SLOConfig",
+    "SLObjective",
     "StatsReport",
     "Verdict",
     "run_workload",

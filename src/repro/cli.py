@@ -5,16 +5,18 @@ Commands:
 - ``experiments [names...]`` — regenerate paper tables/figures
   (default: all).  Names: table1, sec2, table4, table5, fig5a, fig5b,
   fig5c, fig5d, micro, hwext, security, ablations, fleet.
-- ``attack [rop|srop|retlib|flushing]`` — run one attack unprotected
-  and under FlowGuard.
-- ``serve <server> [-n N] [--unprotected]`` — drive a protected server
-  with N client sessions and print the monitor report.
+- ``attack [rop|srop|retlib|flushing] [--engine ...]`` — run one
+  attack unprotected and under FlowGuard.
+- ``serve <server> [-n N] [--unprotected] [--engine ...]`` — drive a
+  protected server with N client sessions and print the monitor
+  report.
 - ``fuzz <server> [--budget N]`` — run the miniature AFL campaign and
   report discovered paths.
 - ``disasm <server|utility|spec-name>`` — dump a workload's entry
   function as assembly text.
 - ``stats <server> [-n N] [--segment-cache N] [--edge-cache N]
   [--engine columnar|objects] [--faults PLAN] [--fault-seed N]
+  [--plane] [--slo FILE] [--plane-out F] [--sample-interval N]
   [--trace-out F] [--spans-out F]`` —
   run a protected server with telemetry enabled and dump the
   versioned :class:`~repro.stats_report.StatsReport` (JSON),
@@ -24,6 +26,10 @@ Commands:
   decode engine (``columnar``, the default, produces identical
   verdicts and charged cycles in less wall-clock —
   e.g. ``repro stats nginx --engine objects`` to compare).
+  ``--plane`` attaches the observability plane: the report gains the
+  v3 ``slo`` section and the run exits 1 if the plane's own
+  exact-accounting audit drifts; ``--plane-out`` writes the full
+  plane dump (a ``repro report`` input).
 - ``fleet [--processes N] [--workers M] [--policy stall|lossy]
   [--segment-cache N] [--edge-cache N] [--engine columnar|objects]
   [--faults PLAN] [--fault-seed N]`` —
@@ -31,6 +37,16 @@ Commands:
   optionally injecting a ROP attack into one of them
   (``--inject-rop``); exits non-zero if the cycle ledger drifts or an
   injected attack goes unquarantined.
+- ``top [fleet flags] [--once] [--refresh K] [--sample-interval N]
+  [--slo FILE] [--plane-out F]`` — the live fleet view: runs a fleet
+  with the observability plane attached and renders a frame (per-pid
+  checker lag, worker utilization, cache hit rates, SLO budget burn,
+  flight-recorder tail) every K samples — or just the final frame
+  with ``--once``.  Exit codes mirror ``fleet``'s gates plus the
+  plane's exact-accounting audit.
+- ``report <input.json> [-o F] [--format markdown|html]`` — render a
+  self-contained run report from a plane dump (``--plane-out``), a
+  ``BENCH_observability.json``, or a StatsReport v3 payload.
 
 Shared option groups (implemented as argparse parent parsers, defined
 once): the cache flags, the fault-injection flags (``--faults`` loads a
@@ -131,6 +147,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         run_recon,
     )
     from repro.attacks.rop import ATTACK_PATH
+    from repro.monitor.policy import FlowGuardPolicy
     from repro.osmodel import Kernel, Sys
     from repro.pipeline import FlowGuardPipeline
     from repro.workloads import (
@@ -161,7 +178,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         corpus=[nginx_request("/index.html")], mode="socket",
     )
     kernel = Kernel()
-    monitor, proc = pipeline.deploy(kernel)
+    monitor, proc = pipeline.deploy(
+        kernel, policy=FlowGuardPolicy(engine=args.engine)
+    )
     proc.push_connection(request)
     kernel.run(proc)
     if monitor.detections:
@@ -179,6 +198,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         run_server, seed_server_fs, server_requests,
     )
 
+    from repro.monitor.policy import FlowGuardPolicy
+
     tel = telemetry.get_telemetry()
     enabled_here = bool(args.trace_out or args.spans_out) and not tel.enabled
     if enabled_here:
@@ -188,6 +209,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.server,
             server_requests(args.server, args.sessions),
             protected=not args.unprotected,
+            policy=FlowGuardPolicy(engine=args.engine),
         )
         print(f"{args.server}: served with exit code {run.proc.exit_code}, "
               f"{run.proc.executor.insn_count} instructions, "
@@ -242,7 +264,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     faults = _faults_from_args(args)
     tel = telemetry.get_telemetry()
     tel.reset()
-    tel.enable()
+    plane = _plane_from_args(args)
+    if plane is not None:
+        tel.attach_plane(plane)
+    else:
+        tel.enable()
+    plane_audit = None
     try:
         run = run_workload(
             args.server,
@@ -253,15 +280,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
         assert run.monitor is not None and run.stats is not None
         reconciliation = tel.profiler.reconcile(run.monitor.all_stats())
+        slo = None
+        if plane is not None:
+            # Solo runs have no fleet clock: close the sampler on the
+            # process's own cycle count before auditing.
+            plane.finalize(run.proc.executor.cycles)
+            plane.check_reconciliation("cycle-accounting", reconciliation)
+            plane_audit = plane.reconcile(
+                run.monitor.all_stats(),
+                getattr(run.monitor, "degradations", None),
+            )
+            slo = plane.slo_report()
+            if args.plane_out:
+                plane.export(args.plane_out)
+                print(f"[plane dump -> {args.plane_out}]", file=sys.stderr)
         payload = StatsReport.from_monitor(
             run.monitor,
             reconciliation=reconciliation,
             telemetry=tel.snapshot(),
+            slo=slo,
             server=args.server,
             sessions=args.sessions,
         ).to_dict()
         _export_trace(tel.tracer, args)
     finally:
+        if plane is not None:
+            tel.detach_plane()
         tel.disable()
     json.dump(payload, sys.stdout, indent=2, default=str)
     print()
@@ -282,11 +326,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print("degradation ledger does NOT reconcile",
                   file=sys.stderr)
             return 1
+    if plane_audit is not None and not plane_audit["exact"]:
+        print("observability plane does NOT reconcile", file=sys.stderr)
+        return 1
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    """Run a multi-process fleet under one monitor (see repro.fleet)."""
+def _build_fleet_service(args: argparse.Namespace):
+    """The fleet the shared fleet-shape flags describe, workloads
+    loaded; returns ``(service, config, attacked_pid)``.  Shared by
+    ``fleet`` and ``top``."""
     import random
 
     from repro.api import Fleet, FleetConfig, RingPolicy
@@ -339,7 +388,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
     attacked_pid = procs[attack_index].pid if attack_index is not None \
         else None
+    return service, config, attacked_pid
 
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a multi-process fleet under one monitor (see repro.fleet)."""
+    service, config, attacked_pid = _build_fleet_service(args)
     result = service.run()
 
     print(f"fleet: {args.processes} processes x {args.workers} workers, "
@@ -407,6 +461,160 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print("a clean process was quarantined (false positive)",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _plane_from_args(args: argparse.Namespace):
+    """The ObservabilityPlane the shared plane flags describe, or None
+    when the subcommand has the flags but none were given (``top``
+    always attaches one: it has no ``--plane`` opt-in)."""
+    from repro.telemetry.plane import ObservabilityPlane, SLOConfig
+
+    wants = getattr(args, "plane", False) or args.slo or args.plane_out
+    if not wants:
+        return None
+    slo = SLOConfig.load(args.slo) if args.slo else None
+    return ObservabilityPlane(interval=args.sample_interval, slo=slo)
+
+
+def _format_top_frame(service, plane, sample: dict) -> str:
+    """One ``repro top`` frame: the fleet's live state at a sample."""
+    now = sample["t"]
+    lines = [
+        f"repro top — t={now:,.0f} cycles   sample #{sample['seq']}   "
+        f"interval {plane.sampler.interval:,.0f}"
+    ]
+    # Per-process rows: checker traffic grouped from the dispatcher's
+    # task journal (read-only; nothing here charges cycles).
+    by_pid: Dict[int, dict] = {}
+    for task in service.dispatcher.tasks:
+        row = by_pid.setdefault(
+            task.pid, {"checks": 0, "lag_sum": 0.0, "lag_max": 0.0}
+        )
+        row["checks"] += 1
+        row["lag_sum"] += task.lag
+        row["lag_max"] = max(row["lag_max"], task.lag)
+    lines.append(
+        f"  {'pid':>4} {'name':<8} {'state':<11} {'quanta':>6} "
+        f"{'app cycles':>11} {'checks':>6} {'lag mean':>9} {'lag max':>9}"
+    )
+    for entry in service.scheduler.entries:
+        proc = entry.proc
+        row = by_pid.get(proc.pid)
+        checks = row["checks"] if row else 0
+        mean = row["lag_sum"] / checks if checks else 0.0
+        state = "QUARANTINED" if entry.quarantined else (
+            "done" if entry.done else proc.state.value
+        )
+        lines.append(
+            f"  {proc.pid:>4} {proc.name:<8} {state:<11} "
+            f"{entry.quanta:>6} {proc.executor.cycles:>11,.0f} "
+            f"{checks:>6} {mean:>9,.0f} "
+            f"{row['lag_max'] if row else 0.0:>9,.0f}"
+        )
+    # Workers, caches, SLO burn, flight tail.
+    pool = service.pool
+    lines.append("  workers: " + "  ".join(
+        f"w{i} {busy / now if now > 0 else 0.0:.0%} ({n} tasks)"
+        for i, (busy, n) in enumerate(zip(pool.busy_cycles, pool.tasks_run))
+    ))
+    caches = service.monitor.cache_stats() or {}
+    cache_bits = [
+        f"{name} {cache['hit_rate']:.0%} hit "
+        f"({cache['hits']}/{cache['hits'] + cache['misses']})"
+        for name in ("segment", "edge")
+        if (cache := caches.get(name)) is not None
+    ]
+    if cache_bits:
+        lines.append("  caches:  " + ", ".join(cache_bits))
+    slo = plane.engine.evaluate(plane.sampler.samples)
+    lines.append("  slo:     " + "  ".join(
+        f"{o['name']}={'ok' if o['met'] else 'MISS'}"
+        f"[burn {o['budget_burn']:.2f}]"
+        for o in slo["objectives"]
+    ))
+    for event in list(plane.flight.events)[-3:]:
+        lines.append(
+            f"  flight:  #{event['seq']} t={event['t']:,.0f} "
+            f"{event['kind']} pid={event['pid']} {event['detail']}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet view: a plane-attached fleet run rendered per sample."""
+    from repro import telemetry
+    from repro.telemetry.plane import ObservabilityPlane, SLOConfig
+
+    tel = telemetry.get_telemetry()
+    tel.reset()
+    slo = SLOConfig.load(args.slo) if args.slo else None
+    plane = ObservabilityPlane(interval=args.sample_interval, slo=slo)
+    tel.attach_plane(plane)
+    try:
+        service, config, attacked_pid = _build_fleet_service(args)
+        live = not args.once
+        if live:
+            clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+
+            def render(sample: dict, _every=max(1, args.refresh)) -> None:
+                if sample["seq"] % _every == 0:
+                    print(clear + _format_top_frame(service, plane, sample))
+                    if not clear:
+                        print()
+
+            plane.sampler.on_sample.append(render)
+        result = service.run()
+        plane_audit = plane.reconcile(
+            service.monitor.all_stats(), service.monitor.degradations
+        )
+        # The final frame renders after finalize (inside reconcile) so
+        # it carries the closing sample — ``--once`` prints only this.
+        print(_format_top_frame(service, plane, plane.sampler.samples[-1]))
+        if args.plane_out:
+            plane.export(args.plane_out)
+            print(f"[plane dump -> {args.plane_out}]", file=sys.stderr)
+    finally:
+        tel.detach_plane()
+        tel.disable()
+
+    if not result.accounting["exact"]:
+        print("fleet cycle ledger does NOT reconcile with MonitorStats",
+              file=sys.stderr)
+        return 1
+    ledger = (result.resilience or {}).get("ledger_reconcile")
+    if ledger is not None and not ledger["exact"]:
+        print("degradation ledger does NOT reconcile with telemetry",
+              file=sys.stderr)
+        return 1
+    if not plane_audit["exact"]:
+        print("observability plane does NOT reconcile", file=sys.stderr)
+        return 1
+    if attacked_pid is not None and \
+            attacked_pid not in result.quarantined_pids:
+        print(f"injected attack on pid {attacked_pid} was not "
+              "quarantined", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a self-contained markdown/HTML report from a run JSON."""
+    from repro.telemetry.report import render_report
+
+    with open(args.input, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    try:
+        text = render_report(payload, fmt=args.format, title=args.title)
+    except ValueError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"[report -> {args.output}]", file=sys.stderr)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -503,6 +711,50 @@ def _engine_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _plane_parent() -> argparse.ArgumentParser:
+    """Shared observability-plane flags (parent parser)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--slo", default=None, metavar="FILE",
+        help="load a JSON SLOConfig (default: the stock objectives)",
+    )
+    parent.add_argument(
+        "--plane-out", default=None, metavar="FILE",
+        help="write the full plane dump (a `repro report` input)",
+    )
+    parent.add_argument(
+        "--sample-interval", type=float, default=2000.0, metavar="N",
+        help="sampler cadence in simulated cycles",
+    )
+    return parent
+
+
+def _add_fleet_shape_args(parser: argparse.ArgumentParser) -> None:
+    """The fleet-shape flags ``fleet`` and ``top`` share."""
+    parser.add_argument("-p", "--processes", type=int, default=8)
+    parser.add_argument("-w", "--workers", type=int, default=4)
+    parser.add_argument("--policy", choices=["stall", "lossy"],
+                        default="stall",
+                        help="ToPA buffer-full degradation policy")
+    parser.add_argument("--quantum", type=float, default=2000.0,
+                        help="round-robin slice in simulated cycles")
+    parser.add_argument("--ring-bytes", type=int, default=8192,
+                        help="per-process trace ring capacity")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="in-flight checks before backpressure")
+    parser.add_argument("--decode-mode",
+                        choices=["simulated", "threads"],
+                        default="simulated")
+    parser.add_argument("-n", "--sessions", type=int, default=2,
+                        help="client sessions per process")
+    parser.add_argument("--servers", nargs="*", default=None,
+                        choices=["nginx", "vsftpd", "openssh", "exim"],
+                        help="server mix (default: nginx exim)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--inject-rop", action="store_true",
+                        help="inject a ROP exploit into one nginx process")
+
+
 def _fault_parent() -> argparse.ArgumentParser:
     """Shared fault-injection flags (parent parser)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -530,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
     caches = _cache_parent()
     faults = _fault_parent()
     engine = _engine_parent()
+    plane = _plane_parent()
 
     experiments = sub.add_parser(
         "experiments", help="regenerate paper tables/figures",
@@ -539,13 +792,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="subset of experiments (default all)")
     experiments.set_defaults(func=_cmd_experiments)
 
-    attack = sub.add_parser("attack", help="run one attack demo")
+    attack = sub.add_parser("attack", help="run one attack demo",
+                            parents=[engine])
     attack.add_argument("kind",
                         choices=["rop", "srop", "retlib", "flushing"])
     attack.set_defaults(func=_cmd_attack)
 
     serve = sub.add_parser("serve", help="drive a protected server",
-                           parents=[trace])
+                           parents=[trace, engine])
     serve.add_argument("server",
                        choices=["nginx", "vsftpd", "openssh", "exim"])
     serve.add_argument("-n", "--sessions", type=int, default=8)
@@ -555,11 +809,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats",
         help="run a protected server under telemetry, dump the report",
-        parents=[caches, engine, faults, trace],
+        parents=[caches, engine, faults, plane, trace],
     )
     stats.add_argument("server",
                        choices=["nginx", "vsftpd", "openssh", "exim"])
     stats.add_argument("-n", "--sessions", type=int, default=4)
+    stats.add_argument("--plane", action="store_true",
+                       help="attach the observability plane (implied by "
+                            "--slo / --plane-out)")
     stats.set_defaults(func=_cmd_stats)
 
     fleet = sub.add_parser(
@@ -567,31 +824,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="time-slice N protected processes over M checker workers",
         parents=[caches, engine, faults],
     )
-    fleet.add_argument("-p", "--processes", type=int, default=8)
-    fleet.add_argument("-w", "--workers", type=int, default=4)
-    fleet.add_argument("--policy", choices=["stall", "lossy"],
-                       default="stall",
-                       help="ToPA buffer-full degradation policy")
-    fleet.add_argument("--quantum", type=float, default=2000.0,
-                       help="round-robin slice in simulated cycles")
-    fleet.add_argument("--ring-bytes", type=int, default=8192,
-                       help="per-process trace ring capacity")
-    fleet.add_argument("--queue-depth", type=int, default=64,
-                       help="in-flight checks before backpressure")
-    fleet.add_argument("--decode-mode",
-                       choices=["simulated", "threads"],
-                       default="simulated")
-    fleet.add_argument("-n", "--sessions", type=int, default=2,
-                       help="client sessions per process")
-    fleet.add_argument("--servers", nargs="*", default=None,
-                       choices=["nginx", "vsftpd", "openssh", "exim"],
-                       help="server mix (default: nginx exim)")
-    fleet.add_argument("--seed", type=int, default=0)
-    fleet.add_argument("--inject-rop", action="store_true",
-                       help="inject a ROP exploit into one nginx process")
+    _add_fleet_shape_args(fleet)
     fleet.add_argument("--json", action="store_true",
                        help="also dump the full result as JSON")
     fleet.set_defaults(func=_cmd_fleet)
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet view via the observability plane",
+        parents=[caches, engine, faults, plane],
+    )
+    _add_fleet_shape_args(top)
+    top.add_argument("--once", action="store_true",
+                     help="print only the final frame (CI-friendly)")
+    top.add_argument("--refresh", type=int, default=5, metavar="K",
+                     help="render a frame every K samples (live mode)")
+    top.set_defaults(func=_cmd_top)
+
+    report = sub.add_parser(
+        "report",
+        help="render a markdown/HTML report from a run JSON",
+    )
+    report.add_argument("input",
+                        help="plane dump, BENCH_observability.json, or "
+                             "StatsReport JSON")
+    report.add_argument("-o", "--output", default=None,
+                        help="write here instead of stdout")
+    report.add_argument("--format", choices=["markdown", "html"],
+                        default="markdown")
+    report.add_argument("--title", default=None)
+    report.set_defaults(func=_cmd_report)
 
     fuzz = sub.add_parser("fuzz", help="run the miniature AFL campaign")
     fuzz.add_argument("server",

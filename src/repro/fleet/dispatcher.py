@@ -390,6 +390,11 @@ class FleetDispatcher:
             tel.metrics.counter("resilience.quarantines").inc(
                 kind="dead-letter" if task.dead_lettered else "violation"
             )
+            # Detection window: check enqueued -> enforcement applied.
+            # The detection-latency SLO reads this histogram's p99.
+            tel.metrics.histogram("fleet.detection_latency").observe(
+                now - task.enqueued_at
+            )
         return event
 
     def _reason_for(self, pid: int) -> str:

@@ -51,6 +51,8 @@ class FleetClock:
         self._base = 0.0
         self._anchor_executor = None
         self._anchor_cycles = 0.0
+        #: optional observability plane; sampled on every clock tick.
+        self.plane = None
 
     @property
     def now(self) -> float:
@@ -69,11 +71,15 @@ class FleetClock:
         """End the quantum, folding its cycles into the base clock."""
         self._base = self.now
         self._anchor_executor = None
+        if self.plane is not None:
+            self.plane.maybe_sample(self._base)
 
     def advance_to(self, when: float) -> None:
         """Jump forward (idle wait); never moves backward."""
         assert self._anchor_executor is None, "cannot jump a pinned clock"
         self._base = max(self._base, when)
+        if self.plane is not None:
+            self.plane.maybe_sample(self._base)
 
 
 @dataclass

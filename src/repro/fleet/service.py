@@ -28,6 +28,7 @@ from repro.osmodel.process import Process
 from repro.resilience.faults import FaultPlan
 from repro.resilience.retry import DeadLetter, RetryPolicy
 from repro.telemetry import get_telemetry
+from repro.telemetry.metrics import nearest_rank
 
 from repro.fleet.dispatcher import FleetDispatcher, QuarantineEvent
 from repro.fleet.monitor import FleetMonitor
@@ -38,12 +39,7 @@ from repro.fleet.workers import SimulatedWorkerPool, ThreadedSliceDecoder
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Deterministic nearest-rank percentile (q in [0, 100])."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, -(-int(q) * len(ordered) // 100))  # ceil without floats
-    rank = min(rank, len(ordered))
-    return ordered[rank - 1]
+    return nearest_rank(sorted(values), q)
 
 
 @dataclass
@@ -139,6 +135,8 @@ class FleetResult:
     dead_letters: Optional[List[DeadLetter]] = None
     #: fault-plane stats + degradation ledger + its reconciliation.
     resilience: Optional[dict] = None
+    #: SLO verdicts + plane health (None unless a plane was attached).
+    slo: Optional[dict] = None
 
     @property
     def quarantined_pids(self) -> List[int]:
@@ -198,6 +196,7 @@ class FleetResult:
             caches=self.caches,
             fleet=fleet,
             resilience=self.resilience,
+            slo=self.slo,
             context={"kind": "fleet"},
         ).to_dict()
 
@@ -297,6 +296,10 @@ class FleetService:
 
     def run(self) -> FleetResult:
         tel = get_telemetry()
+        if tel.plane is not None:
+            # The fleet clock becomes the plane's time source; every
+            # tick (quantum unpin / idle jump) offers a sample.
+            tel.plane.bind_clock(self.clock)
         with tel.tracer.span(
             "fleet.run",
             processes=len(self.scheduler.entries),
@@ -397,6 +400,16 @@ class FleetService:
                 retry_cycles=self.dispatcher.retry_cycles
             ),
         }
+        plane = get_telemetry().plane
+        slo = None
+        if plane is not None:
+            # Drifting ledgers trigger a flight-recorder dump before
+            # the SLO report freezes the plane's view of the run.
+            plane.check_reconciliation("fleet-accounting", accounting)
+            plane.check_reconciliation(
+                "degradation-ledger", resilience["ledger_reconcile"]
+            )
+            slo = plane.slo_report()
         threaded = None
         if self.decoder is not None:
             threaded = {
@@ -427,4 +440,5 @@ class FleetService:
             caches=self.monitor.cache_stats(),
             dead_letters=list(self.dispatcher.dead_letters),
             resilience=resilience,
+            slo=slo,
         )

@@ -240,11 +240,20 @@ class SegmentDecodeCache:
         if slot is None:
             slot = _CacheEntry()
             self._store[key] = slot
+            if tel.enabled and tel.plane is not None:
+                # Cache state transitions feed the flight recorder.
+                tel.plane.on_cache_event(
+                    "cache-insert", detail=f"resident={len(self._store)}"
+                )
             if len(self._store) > self.entries:
                 self._store.popitem(last=False)
                 self.evictions += 1
                 if tel.enabled:
                     tel.metrics.counter("ipt.segment_cache.evictions").inc()
+                    if tel.plane is not None:
+                        tel.plane.on_cache_event(
+                            "cache-evict", detail=f"evictions={self.evictions}"
+                        )
         else:
             self._store.move_to_end(key)
         return slot

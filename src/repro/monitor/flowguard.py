@@ -285,6 +285,17 @@ class FlowGuardMonitor:
     # -- checking -----------------------------------------------------------------
 
     def _run_check(self, pp: ProtectedProcess, nr: int) -> Verdict:
+        """One endpoint check, observed: the observability plane (when
+        attached) journals every verdict into the flight recorder and
+        auto-dumps on VIOLATION.  The plane only reads state — verdicts
+        and charged cycles are bit-identical with it detached."""
+        verdict = self._run_check_inner(pp, nr)
+        plane = self._telemetry.plane
+        if plane is not None:
+            plane.on_check(pp, nr, verdict)
+        return verdict
+
+    def _run_check_inner(self, pp: ProtectedProcess, nr: int) -> Verdict:
         tel = self._telemetry
         stats = pp.stats
         stats.checks += 1

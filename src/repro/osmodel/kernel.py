@@ -207,6 +207,9 @@ class Kernel:
             proc.fault = str(fault)
             self.kill_process(proc, SIGSEGV)
             return StepOutcome.KILLED
+        plane = get_telemetry().plane
+        if plane is not None:
+            plane.on_step(proc)
         if reason is HaltReason.INTERRUPTED:
             return StepOutcome.PREEMPTED
         if reason is HaltReason.STEPS_EXHAUSTED:

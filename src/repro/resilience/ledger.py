@@ -104,12 +104,22 @@ class DegradationLedger:
             tel.metrics.counter("resilience.events").inc(kind=kind)
             if cycles:
                 tel.metrics.counter("resilience.wasted_cycles").inc(cycles)
+            # The observability plane journals the same event into its
+            # flight recorder (inside the enabled guard, so the plane's
+            # per-kind tallies reconcile exactly with the counter).
+            if tel.plane is not None:
+                tel.plane.on_degradation(event)
         return event
 
     # -- views ---------------------------------------------------------------
 
     def counts(self) -> Dict[str, int]:
         return dict(self._counts)
+
+    def telemetry_counts(self) -> Dict[str, int]:
+        """Per-kind counts recorded while telemetry was enabled — the
+        slice the counter (and the plane's flight tallies) must match."""
+        return dict(self._telemetry_counts)
 
     def count(self, kind: str) -> int:
         return self._counts.get(kind, 0)

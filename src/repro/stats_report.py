@@ -17,10 +17,17 @@ dump, and library consumers got a third shape from
   ``None`` for solo runs,
 - ``resilience`` — fault-plane stats, the degradation ledger and its
   reconciliation; ``None`` when the run had no resilience plane,
+- ``slo`` — SLO verdicts, error-budget burn and plane health from the
+  observability plane (v3); ``None`` when no plane was attached,
 - ``telemetry`` — the metrics snapshot, when telemetry was enabled.
 
 Every key is always present (absent sections are ``None``, never
 missing), so consumers can index without existence checks.
+
+Migration v2 -> v3: purely additive — the new ``slo`` section.  v2
+payloads load fine through :meth:`StatsReport.from_dict` (``slo``
+becomes ``None``); v3 payloads are rejected by v2 readers via the
+existing newer-version check, which is the point of the bump.
 """
 
 from __future__ import annotations
@@ -29,8 +36,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 #: current schema revision.  1 was the trio of ad-hoc shapes (implicit,
-#: unversioned); 2 is the unified report.
-SCHEMA_VERSION = 2
+#: unversioned); 2 is the unified report; 3 adds the ``slo`` section.
+SCHEMA_VERSION = 3
 
 _SECTIONS = (
     "schema_version",
@@ -39,6 +46,7 @@ _SECTIONS = (
     "caches",
     "fleet",
     "resilience",
+    "slo",
     "telemetry",
 )
 
@@ -51,6 +59,7 @@ class StatsReport:
     caches: Optional[dict] = None
     fleet: Optional[dict] = None
     resilience: Optional[dict] = None
+    slo: Optional[dict] = None
     telemetry: Optional[dict] = None
     context: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
@@ -64,6 +73,7 @@ class StatsReport:
             "caches": self.caches,
             "fleet": self.fleet,
             "resilience": self.resilience,
+            "slo": self.slo,
             "telemetry": self.telemetry,
         }
 
@@ -85,6 +95,7 @@ class StatsReport:
             caches=data.get("caches"),
             fleet=data.get("fleet"),
             resilience=data.get("resilience"),
+            slo=data.get("slo"),  # absent before v3
             telemetry=data.get("telemetry"),
             context=dict(data.get("context") or {}),
             schema_version=version,
@@ -98,6 +109,7 @@ class StatsReport:
         monitor,
         reconciliation: Optional[dict] = None,
         telemetry: Optional[dict] = None,
+        slo: Optional[dict] = None,
         **context,
     ) -> "StatsReport":
         """A report for a solo (non-fleet) monitor.
@@ -126,6 +138,7 @@ class StatsReport:
             monitor=block,
             caches=monitor.cache_stats(),
             resilience=resilience,
+            slo=slo,
             telemetry=telemetry,
             context={"kind": "solo", **context},
         )

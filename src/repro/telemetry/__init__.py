@@ -49,17 +49,27 @@ from repro.telemetry.metrics import (  # noqa: F401 (public re-exports)
 from repro.telemetry.profiler import PHASES, CycleProfiler  # noqa: F401
 from repro.telemetry.tracing import Span, Tracer  # noqa: F401
 
+# (the plane module is re-exported at the bottom of this file — it
+# needs the Telemetry class defined first.)
+
 
 class Telemetry:
-    """The three sinks plus the single master enable switch."""
+    """The three sinks plus the single master enable switch.
 
-    __slots__ = ("metrics", "tracer", "profiler", "enabled")
+    ``plane`` is the optional live observability plane
+    (:class:`~repro.telemetry.plane.ObservabilityPlane`); hook sites
+    guard on ``tel.plane is not None`` so runs without a plane pay one
+    attribute read, nothing more.
+    """
+
+    __slots__ = ("metrics", "tracer", "profiler", "enabled", "plane")
 
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.profiler = CycleProfiler()
         self.enabled = False
+        self.plane = None
 
     # -- switching -----------------------------------------------------------
 
@@ -73,17 +83,31 @@ class Telemetry:
         self.metrics.enabled = False
         self.tracer.enabled = False
 
+    def attach_plane(self, plane) -> None:
+        """Adopt ``plane`` and enable telemetry (the plane samples the
+        registry, so the two must be on together — attach *after*
+        ``reset()`` so sampled counters start from zero)."""
+        self.plane = plane
+        self.enable()
+
+    def detach_plane(self):
+        """Drop the plane (telemetry stays enabled); returns it."""
+        plane, self.plane = self.plane, None
+        return plane
+
     # -- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:
-        """Clear every recorded series, span and cycle cell."""
+        """Clear every recorded series, span and cycle cell.  The plane
+        is left alone: its samples already taken would no longer match
+        a zeroed registry, so flows attach a *fresh* plane after reset."""
         self.metrics.reset()
         self.tracer.reset()
         self.profiler.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """Combined JSON-compatible snapshot of metrics and cycles."""
-        return {
+        snap = {
             "enabled": self.enabled,
             "metrics": self.metrics.snapshot(),
             "profile": self.profiler.snapshot(),
@@ -92,6 +116,13 @@ class Telemetry:
                 "dropped": self.tracer.dropped,
             },
         }
+        if self.plane is not None:
+            snap["plane"] = {
+                "samples": self.plane.sampler.taken,
+                "flight_events": self.plane.flight.seq,
+                "dumps": len(self.plane.flight.dumps),
+            }
+        return snap
 
 
 #: The process-wide instance every instrumented module reports into.
@@ -112,6 +143,16 @@ def disable() -> None:
 
 def reset() -> None:
     _TELEMETRY.reset()
+
+
+from repro.telemetry.plane import (  # noqa: E402,F401 (public re-exports)
+    FlightRecorder,
+    ObservabilityPlane,
+    SLOConfig,
+    SLOEngine,
+    SLObjective,
+    TimeseriesSampler,
+)
 
 
 @contextmanager

@@ -15,9 +15,26 @@ requirement; see ``benchmarks/test_telemetry_overhead.py``).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: the percentile points every histogram summary exposes.
+QUANTILES = (50, 95, 99)
+
+
+def nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Deterministic nearest-rank percentile over a *sorted* sequence.
+
+    ``q`` is in [0, 100].  This is the one percentile definition the
+    whole repo uses (histograms, fleet lag, the SLO engine), so a p99
+    computed anywhere matches a p99 computed anywhere else on the same
+    observations.
+    """
+    if not ordered:
+        return 0.0
+    rank = max(1, -(-int(q) * len(ordered) // 100))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 def series_name(name: str, labels: LabelKey) -> str:
@@ -86,9 +103,16 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / sum / min / max per series."""
+    """Per-series summary with exact percentiles.
 
-    __slots__ = ("name", "help", "_registry", "_series")
+    Every observation is retained (this is a simulator — series are
+    thousands of points, not billions), so ``summary`` reports *exact*
+    nearest-rank p50/p95/p99 alongside count / sum / min / max — the SLO
+    engine needs real tail percentiles, not min/mean/max bounds.
+    """
+
+    __slots__ = ("name", "help", "_registry", "_series", "_observations",
+                 "_dirty")
 
     def __init__(self, name: str, help: str, registry: "MetricsRegistry"
                  ) -> None:
@@ -96,6 +120,8 @@ class Histogram:
         self.help = help
         self._registry = registry
         self._series: Dict[LabelKey, Dict[str, float]] = {}
+        self._observations: Dict[LabelKey, List[float]] = {}
+        self._dirty: set = set()
 
     def observe(self, value: float, **labels: object) -> None:
         if not self._registry.enabled:
@@ -106,6 +132,7 @@ class Histogram:
             self._series[key] = {
                 "count": 1, "sum": value, "min": value, "max": value,
             }
+            self._observations[key] = [value]
             return
         cell["count"] += 1
         cell["sum"] += value
@@ -113,17 +140,38 @@ class Histogram:
             cell["min"] = value
         if value > cell["max"]:
             cell["max"] = value
+        self._observations[key].append(value)
+        self._dirty.add(key)
 
-    def summary(self, **labels: object) -> Optional[Dict[str, float]]:
-        cell = self._series.get(_label_key(labels))
+    def _ordered(self, key: LabelKey) -> List[float]:
+        obs = self._observations.get(key, [])
+        if key in self._dirty:
+            obs.sort()  # near-sorted in practice; Timsort is cheap here
+            self._dirty.discard(key)
+        return obs
+
+    def percentile(self, q: float, **labels: object) -> float:
+        """Exact nearest-rank percentile of this series (0 if empty)."""
+        return nearest_rank(self._ordered(_label_key(labels)), q)
+
+    def _summarize(self, key: LabelKey) -> Optional[Dict[str, float]]:
+        cell = self._series.get(key)
         if cell is None:
             return None
         out = dict(cell)
         out["mean"] = out["sum"] / out["count"] if out["count"] else 0.0
+        ordered = self._ordered(key)
+        for q in QUANTILES:
+            out[f"p{q}"] = nearest_rank(ordered, q)
         return out
+
+    def summary(self, **labels: object) -> Optional[Dict[str, float]]:
+        return self._summarize(_label_key(labels))
 
     def reset(self) -> None:
         self._series.clear()
+        self._observations.clear()
+        self._dirty.clear()
 
 
 class MetricsRegistry:
@@ -177,12 +225,8 @@ class MetricsRegistry:
         }
         histograms = {}
         for h in self._histograms.values():
-            for key, cell in sorted(h._series.items()):
-                cell = dict(cell)
-                cell["mean"] = (
-                    cell["sum"] / cell["count"] if cell["count"] else 0.0
-                )
-                histograms[series_name(h.name, key)] = cell
+            for key in sorted(h._series):
+                histograms[series_name(h.name, key)] = h._summarize(key)
         return {
             "counters": counters,
             "gauges": gauges,

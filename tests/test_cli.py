@@ -42,6 +42,40 @@ class TestParser:
         args = build_parser().parse_args(["serve", "nginx"])
         assert args.sessions == 8
         assert not args.unprotected
+        assert args.engine == "columnar"
+
+    def test_serve_and_attack_take_engine(self):
+        args = build_parser().parse_args(
+            ["serve", "nginx", "--engine", "objects"]
+        )
+        assert args.engine == "objects"
+        args = build_parser().parse_args(
+            ["attack", "rop", "--engine", "objects"]
+        )
+        assert args.engine == "objects"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "rop", "--engine", "warp"])
+
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.processes == 8
+        assert args.sample_interval == 2000.0
+        assert args.refresh == 5
+        assert not args.once
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report", "run.json"])
+        assert args.input == "run.json"
+        assert args.format == "markdown"
+        assert args.output is None
+
+    def test_stats_plane_flags(self):
+        args = build_parser().parse_args(
+            ["stats", "nginx", "--plane", "--plane-out", "p.json"]
+        )
+        assert args.plane
+        assert args.plane_out == "p.json"
+        assert args.slo is None
 
 
 class TestCommands:
@@ -94,7 +128,7 @@ class TestCommands:
 
         assert main(["stats", "exim", "-n", "2"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["context"] == {
             "kind": "solo", "server": "exim", "sessions": 2,
         }
@@ -120,6 +154,48 @@ class TestCommands:
         assert "lag p50" in out
         assert "overhead:" in out
 
+    def test_serve_engine_objects_same_verdicts(self, capsys):
+        assert main(["serve", "exim", "-n", "2", "--engine",
+                     "objects"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor:" in out
+
+    def test_stats_with_plane(self, tmp_path, capsys):
+        import json
+
+        dump_path = tmp_path / "plane.json"
+        assert main(["stats", "exim", "-n", "2", "--plane",
+                     "--plane-out", str(dump_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 3
+        assert payload["slo"]["met"] in (True, False)
+        assert payload["slo"]["sampler"]["samples"] > 0
+        dump = json.loads(dump_path.read_text())
+        assert dump["kind"] == "plane-dump"
+
+    def test_top_once(self, capsys):
+        assert main(["top", "--once", "-p", "2", "-w", "2",
+                     "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "workers:" in out
+        assert "slo:" in out
+
+    def test_report_from_plane_dump(self, tmp_path, capsys):
+        assert main(["top", "--once", "-p", "2", "-w", "1", "-n", "1",
+                     "--plane-out", str(tmp_path / "plane.json")]) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "plane.json")]) == 0
+        out = capsys.readouterr().out
+        assert "# FlowGuard run report" in out
+        assert "## SLO objectives" in out
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"nothing\": true}")
+        assert main(["report", str(bad)]) == 2
+        assert "unrecognized" in capsys.readouterr().err
+
     def test_fleet_json(self, capsys):
         import json
 
@@ -128,7 +204,7 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         payload = json.loads(out[out.index("{"):])
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["context"]["kind"] == "fleet"
         assert payload["monitor"]["accounting"]["exact"] is True
         assert payload["fleet"]["quarantines"] == []
