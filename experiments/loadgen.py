@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run the load-generation bench scenarios, write ``BENCH_loadgen.json``.
+
+Usage::
+
+    PYTHONPATH=src python experiments/loadgen.py [--quick] \
+        [--out BENCH_loadgen.json]
+
+``--quick`` shrinks the sweep for CI smoke runs; the JSON shape is
+identical.  Exits non-zero if any acceptance gate fails:
+
+- closed-loop throughput grows monotonically up to the saturation knee,
+- the max-throughput-under-SLO bisection converges within its probe
+  budget and two independently seeded searches agree on the answer,
+- planted ROP exploits at the saturation point are all quarantined
+  with zero false quarantines, and two identical saturated runs are
+  bit-identical (outcome digests),
+- the fault-injected lossy-ring load point reconciles both cycle and
+  degradation ledgers exactly, as does every clean sweep point.
+
+The written JSON is also a ``repro report`` input::
+
+    PYTHONPATH=src python -m repro report BENCH_loadgen.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import loadgen  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_loadgen.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = loadgen.run(quick=args.quick)
+    print(loadgen.format_table(results))
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\n[wrote {out}]")
+
+    failures = loadgen.gates_passed(results)
+    for name in failures:
+        print(f"FAIL: gate {name}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

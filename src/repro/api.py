@@ -25,6 +25,10 @@ submodule home::
     result = service.run()
     payload = result.to_dict()          # versioned StatsReport schema
 
+    # Load generation: max throughput under a latency SLO.
+    scenario = resolve_scenario("nginx-closed")
+    payload = run_bench(scenario)       # `repro report` renders this
+
 Importing names from the ``repro.monitor`` / ``repro.fleet`` package
 roots still works but is deprecated (each access emits a
 ``DeprecationWarning``); deep submodule imports remain supported for
@@ -43,6 +47,14 @@ from repro.fleet.service import FleetConfig, FleetResult, FleetService
 from repro.monitor.fastpath import Verdict
 from repro.monitor.flowguard import FlowGuardMonitor
 from repro.monitor.policy import FlowGuardPolicy
+from repro.loadgen import (
+    LoadPointResult,
+    LoadScenario,
+    resolve_scenario,
+    run_bench,
+    slo_search,
+    sweep_connections,
+)
 from repro.osmodel.kernel import Kernel
 from repro.pipeline import FlowGuardPipeline
 from repro.resilience import (
@@ -70,6 +82,8 @@ __all__ = [
     "FlowGuardPolicy",
     "InjectedFault",
     "Kernel",
+    "LoadPointResult",
+    "LoadScenario",
     "Monitor",
     "ObservabilityPlane",
     "RetryPolicy",
@@ -80,7 +94,11 @@ __all__ = [
     "SLObjective",
     "StatsReport",
     "Verdict",
+    "resolve_scenario",
+    "run_bench",
     "run_workload",
+    "slo_search",
+    "sweep_connections",
 ]
 
 

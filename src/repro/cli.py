@@ -7,9 +7,16 @@ Commands:
   fig5c, fig5d, micro, hwext, security, ablations, fleet.
 - ``attack [rop|srop|retlib|flushing] [--engine ...]`` — run one
   attack unprotected and under FlowGuard.
-- ``serve <server> [-n N] [--unprotected] [--engine ...]`` — drive a
-  protected server with N client sessions and print the monitor
-  report.
+- ``serve <server> [-n N] [--seed N] [--unprotected] [--engine ...]``
+  — drive a protected server with N client sessions and print the
+  monitor report; ``--seed`` switches the constant legacy workload to
+  the load generator's deterministic ``varied`` request mix.
+- ``bench [--scenario REF] [--seed N] [--json] [--out F]`` — the
+  closed-loop load-generation harness (see :mod:`repro.loadgen`):
+  sweep connection counts, find the saturation knee, then
+  binary-search the max throughput whose latency percentile still
+  meets the scenario's SLO.  ``REF`` is a builtin scenario name or a
+  JSON file; ``--out`` writes the ``repro report``-renderable payload.
 - ``fuzz <server> [--budget N]`` — run the miniature AFL campaign and
   report discovered paths.
 - ``disasm <server|utility|spec-name>`` — dump a workload's entry
@@ -37,13 +44,16 @@ Commands:
   optionally injecting a ROP attack into one of them
   (``--inject-rop``); exits non-zero if the cycle ledger drifts or an
   injected attack goes unquarantined.
-- ``top [fleet flags] [--once] [--refresh K] [--sample-interval N]
-  [--slo FILE] [--plane-out F]`` — the live fleet view: runs a fleet
-  with the observability plane attached and renders a frame (per-pid
-  checker lag, worker utilization, cache hit rates, SLO budget burn,
-  flight-recorder tail) every K samples — or just the final frame
-  with ``--once``.  Exit codes mirror ``fleet``'s gates plus the
-  plane's exact-accounting audit.
+- ``top [fleet flags] [--scenario REF] [--once] [--refresh K]
+  [--sample-interval N] [--slo FILE] [--plane-out F]`` — the live
+  fleet view: runs a fleet with the observability plane attached and
+  renders a frame (per-pid checker lag, worker utilization, cache hit
+  rates, SLO budget burn, flight-recorder tail) every K samples — or
+  just the final frame with ``--once``.  ``--scenario`` runs a
+  loadgen scenario at its upper connection bound instead of the
+  fleet-shape flags, adding live offered-load / achieved-throughput /
+  SLO-headroom rows to every frame.  Exit codes mirror ``fleet``'s
+  gates plus the plane's exact-accounting audit.
 - ``report <input.json> [-o F] [--format markdown|html]`` — render a
   self-contained run report from a plane dump (``--plane-out``), a
   ``BENCH_observability.json``, or a StatsReport v3 payload.
@@ -207,7 +217,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         run = run_server(
             args.server,
-            server_requests(args.server, args.sessions),
+            server_requests(args.server, args.sessions, seed=args.seed),
             protected=not args.unprotected,
             policy=FlowGuardPolicy(engine=args.engine),
         )
@@ -464,6 +474,63 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Closed-loop load bench: sweep, saturation knee, SLO search."""
+    from repro.experiments.common import format_rows
+    from repro.loadgen import resolve_scenario, run_bench
+
+    scenario = resolve_scenario(args.scenario)
+    payload = run_bench(scenario, seed=args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[bench payload -> {args.out}]", file=sys.stderr)
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+
+    sc = payload["scenario"]
+    print(f"bench {sc['name']}: {sc['mode']} loop over "
+          f"{', '.join(sc['servers'])} ({sc['mix']} mix), "
+          f"{sc['sessions']} sessions/conn, "
+          f"SLO p{sc['slo_percentile']:g} <= "
+          f"{sc['slo_latency']:,.0f} cycles")
+    print(format_rows(
+        ["conns", "offered", "done", "req/Mcyc", "p50", "p99",
+         "overhead", "exact"],
+        [
+            [p["connections"], f"{p['offered_load']:.1f}",
+             p["completed"], f"{p['throughput']:.1f}",
+             f"{p['latency'].get('p50', 0.0):.0f}",
+             f"{p['latency'].get('p99', 0.0):.0f}",
+             f"{p['overhead']:.2%}",
+             "yes" if p["accounting_exact"] and p["ledger_exact"]
+             else "NO"]
+            for p in payload["sweep"]
+        ],
+    ))
+    knee = payload["knee"]
+    print(f"knee: {knee['connections']} connections at "
+          f"{knee['throughput']:.1f} req/Mcycle"
+          f"{'' if payload['monotone_to_knee'] else '  [NOT monotone]'}")
+    search = payload["search"]
+    if search["best_connections"] is None:
+        print("slo search: even the lower bound misses the SLO")
+    else:
+        print(f"slo search: best {search['best_connections']} "
+              f"connections at {search['max_throughput']:.1f} "
+              f"req/Mcycle ({search['probes']} probes, "
+              f"{'converged' if search['converged'] else 'NOT converged'})")
+    for row in search["trace"]:
+        print(f"  probe {row['probe']}: c={row['connections']} "
+              f"p{sc['slo_percentile']:g}={row['latency']:,.0f} -> "
+              f"{'met' if row['met'] else 'miss'} "
+              f"[{row['lower']}, {row['upper']}]")
+    return 0
+
+
 def _plane_from_args(args: argparse.Namespace):
     """The ObservabilityPlane the shared plane flags describe, or None
     when the subcommand has the flags but none were given (``top``
@@ -527,6 +594,46 @@ def _format_top_frame(service, plane, sample: dict) -> str:
     ]
     if cache_bits:
         lines.append("  caches:  " + ", ".join(cache_bits))
+    # Live load-generation rows, present whenever a bench scenario is
+    # driving the fleet (the tracker publishes ``loadgen.*`` series).
+    counters = sample.get("counters", {})
+    gauges = sample.get("gauges", {})
+    if any(series.startswith("loadgen.")
+           for series in list(counters) + list(gauges)):
+        def total(name: str) -> float:
+            return sum(
+                value for series, value in counters.items()
+                if series == name or series.startswith(name + "{")
+            )
+
+        completed = total("loadgen.completed")
+        achieved = completed / now * 1e6 if now > 0 else 0.0
+        bits = [f"offered {total('loadgen.offered'):.0f} req"]
+        offered_load = gauges.get("loadgen.offered_load")
+        if offered_load is not None:
+            bits.append(f"load {offered_load:.1f}")
+        bits += [
+            f"done {completed:.0f}",
+            f"inflight {gauges.get('loadgen.inflight', 0.0):.0f}",
+            f"achieved {achieved:.1f} req/Mcycle",
+        ]
+        lines.append("  loadgen: " + "  ".join(bits))
+        lat_bits = []
+        p99s = [
+            cell["p99"]
+            for series, cell in sample.get("histograms", {}).items()
+            if series.startswith("loadgen.latency")
+        ]
+        if p99s:
+            lat_bits.append(f"p99 {max(p99s):,.0f} cycles")
+        headroom = gauges.get("loadgen.slo_headroom")
+        if headroom is not None:
+            lat_bits.append(
+                f"SLO headroom {headroom:+,.0f} cycles"
+                + ("" if headroom >= 0 else " [MISS]")
+            )
+        if lat_bits:
+            lines.append("  latency: " + "  ".join(lat_bits))
     slo = plane.engine.evaluate(plane.sampler.samples)
     lines.append("  slo:     " + "  ".join(
         f"{o['name']}={'ok' if o['met'] else 'MISS'}"
@@ -552,7 +659,19 @@ def _cmd_top(args: argparse.Namespace) -> int:
     plane = ObservabilityPlane(interval=args.sample_interval, slo=slo)
     tel.attach_plane(plane)
     try:
-        service, config, attacked_pid = _build_fleet_service(args)
+        if args.scenario:
+            from repro.loadgen import build_load_service, resolve_scenario
+
+            scenario = resolve_scenario(args.scenario)
+            # The tracker stays referenced by the kernel's syscall
+            # wrappers; keep it alive for the run's duration.
+            service, tracker, attacked_pids = build_load_service(
+                scenario, scenario.connections_upper_bound,
+            )
+        else:
+            service, config, attacked_pid = _build_fleet_service(args)
+            attacked_pids = [attacked_pid] if attacked_pid is not None \
+                else []
         live = not args.once
         if live:
             clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
@@ -590,10 +709,12 @@ def _cmd_top(args: argparse.Namespace) -> int:
     if not plane_audit["exact"]:
         print("observability plane does NOT reconcile", file=sys.stderr)
         return 1
-    if attacked_pid is not None and \
-            attacked_pid not in result.quarantined_pids:
-        print(f"injected attack on pid {attacked_pid} was not "
-              "quarantined", file=sys.stderr)
+    missed = [pid for pid in attacked_pids
+              if pid not in result.quarantined_pids]
+    if missed:
+        print(f"injected attack on pid(s) "
+              f"{', '.join(map(str, missed))} was not quarantined",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -803,8 +924,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("server",
                        choices=["nginx", "vsftpd", "openssh", "exim"])
     serve.add_argument("-n", "--sessions", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=None,
+                       help="deterministic varied request mix "
+                            "(default: the legacy constant workload)")
     serve.add_argument("--unprotected", action="store_true")
     serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "bench",
+        help="closed-loop load bench: sweep + max throughput under SLO",
+    )
+    bench.add_argument("--scenario", default="nginx-closed",
+                       metavar="REF",
+                       help="builtin scenario name or JSON file "
+                            "(default: nginx-closed)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="reseed the scenario end to end")
+    bench.add_argument("--json", action="store_true",
+                       help="dump the full payload as JSON to stdout")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the payload JSON here "
+                            "(a `repro report` input)")
+    bench.set_defaults(func=_cmd_bench)
 
     stats = sub.add_parser(
         "stats",
@@ -835,6 +976,10 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[caches, engine, faults, plane],
     )
     _add_fleet_shape_args(top)
+    top.add_argument("--scenario", default=None, metavar="REF",
+                     help="run a loadgen scenario (builtin name or "
+                          "JSON file) at its upper connection bound "
+                          "instead of the fleet-shape flags")
     top.add_argument("--once", action="store_true",
                      help="print only the final frame (CI-friendly)")
     top.add_argument("--refresh", type=int, default=5, metavar="K",

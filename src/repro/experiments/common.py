@@ -42,8 +42,20 @@ def libraries() -> Dict[str, object]:
 # -- per-server client workloads (the ab / pyftpbench / script drivers) --
 
 
-def server_requests(name: str, count: int) -> List[bytes]:
-    """The §7.2.1 client workloads, scaled down to ``count`` sessions."""
+def server_requests(
+    name: str, count: int, seed: Optional[int] = None
+) -> List[bytes]:
+    """The §7.2.1 client workloads, scaled down to ``count`` sessions.
+
+    ``seed=None`` keeps the legacy constant workload (every historical
+    digest depends on it).  A seed switches to the load generator's
+    deterministic ``varied`` mix — the same seed always replays the
+    same byte-exact request list (``repro serve --seed``).
+    """
+    if seed is not None:
+        from repro.loadgen.mixes import mix_requests
+
+        return mix_requests(name, count, seed=seed, mix="varied")
     if name == "nginx":
         # ab-like: constant requests for one small file.
         return [nginx_request("/index.html") for _ in range(count)]

@@ -1,0 +1,178 @@
+"""Load-generation acceptance: knee shape, SLO search, security under load.
+
+The harness's contract has four legs, all gated by
+``experiments/loadgen.py`` (→ ``BENCH_loadgen.json``):
+
+- **throughput shape** — the closed-loop connection sweep must grow
+  monotonically (within tolerance) up to its saturation knee: more
+  concurrency overlaps ring-stall and checker idle time until the one
+  simulated CPU saturates.
+- **search** — the max-throughput-under-SLO bisection must converge
+  within its ⌈log2(range)⌉+1 probe budget, and two independently
+  seeded searches over the same scenario must agree on the best
+  connection count (the knee is a property of the system, not of one
+  request sample).
+- **security under load** — at the saturation point with planted ROP
+  exploits, every attacked process must be quarantined with zero
+  false quarantines, and two identical runs must produce bit-identical
+  outcome digests (schedule + every verdict + the full request
+  timeline).  A scenario-exact warm-up run settles the shared
+  pipelines' promote state first — the first slow-path excursion
+  around an attack feeds verified ITC pairs back into the cached
+  pipeline, so run 0 legitimately differs from every run after it.
+- **exactness** — a faulted, lossy-ring load point run with telemetry
+  enabled must still reconcile both the fleet cycle ledger and the
+  degradation ledger exactly, as must every point of the clean sweep.
+
+The written JSON is the ``kind: "loadgen-bench"`` payload ``repro
+report`` renders, extended with the extra scenarios and the gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro import telemetry
+from repro.experiments.common import format_rows
+from repro.loadgen import builtin_scenario, run_bench, slo_search
+from repro.loadgen.engine import run_load_point, warm_pipelines
+from repro.loadgen.search import probe_budget
+
+
+def run(quick: bool = False) -> Dict[str, object]:
+    base = builtin_scenario("nginx-closed")
+    if quick:
+        base = replace(base, sessions=2, connections_upper_bound=4)
+
+    # -- sweep + knee + SLO search (the `repro bench` payload) ------------
+    results: Dict[str, object] = dict(run_bench(base))
+    results["quick"] = quick
+    search = results["search"]
+
+    # -- search stability: an independently seeded second search ----------
+    reseeded = base.with_seed(1)
+    warm_pipelines(reseeded)
+    search_seed1 = slo_search(reseeded)
+    results["search_seed1"] = search_seed1.to_dict()
+
+    # -- saturation + attack: detection and bit-identity under load -------
+    attack = replace(
+        base,
+        name=f"{base.name}+rop",
+        attack_kind="rop",
+        attack_count=1 if quick else 2,
+    )
+    saturation_c = attack.connections_upper_bound
+    warm_pipelines(attack)
+    run_a = run_load_point(attack, saturation_c)
+    run_b = run_load_point(attack, saturation_c)
+    results["saturation"] = {
+        "connections": saturation_c,
+        "attacks": attack.attack_count,
+        "run_a": run_a.to_dict(),
+        "run_b": run_b.to_dict(),
+    }
+
+    # -- faulted lossy-ring point, telemetry on: ledgers stay exact -------
+    faulted = builtin_scenario("faulted-closed")
+    faulted_c = 2 if quick else faulted.connections_upper_bound
+    tel = telemetry.get_telemetry()
+    tel.enable()
+    try:
+        faulted_point = run_load_point(faulted, faulted_c)
+    finally:
+        tel.disable()
+    results["faulted"] = {
+        "connections": faulted_c,
+        "point": faulted_point.to_dict(),
+    }
+
+    # -- acceptance gates -------------------------------------------------
+    budget = probe_budget(
+        base.connections_lower_bound, base.connections_upper_bound
+    )
+    results["gates"] = {
+        "throughput_monotone_to_knee": bool(results["monotone_to_knee"]),
+        "search_converged": (
+            bool(search["converged"])
+            and search["probes"] <= budget
+            and search_seed1.converged
+        ),
+        "search_stable_across_seeds": (
+            search["best_connections"] == search_seed1.best_connections
+        ),
+        "detection_under_load": all(
+            r.detection_rate == 1.0 and r.false_quarantines == 0
+            for r in (run_a, run_b)
+        ),
+        "verdicts_bit_identical_under_load": run_a.digest == run_b.digest,
+        "ledger_exact_under_faults": (
+            faulted_point.accounting_exact and faulted_point.ledger_exact
+        ),
+        "sweep_points_exact": all(
+            p["accounting_exact"] and p["ledger_exact"]
+            for p in results["sweep"]
+        ),
+    }
+    return results
+
+
+def gates_passed(results: Dict[str, object]) -> List[str]:
+    """Names of the gates that failed (empty = all green)."""
+    return [
+        name for name, ok in results["gates"].items()
+        if isinstance(ok, bool) and not ok
+    ]
+
+
+def format_table(results: Dict[str, object]) -> str:
+    sections = []
+    scenario = results["scenario"]
+    sections.append(
+        f"Load generation — {scenario['name']} ({scenario['mode']} loop, "
+        f"SLO p{scenario['slo_percentile']:.0f} <= "
+        f"{scenario['slo_latency']:,.0f} cycles)\n"
+        + format_rows(
+            ["conns", "offered", "done", "req/Mcyc", "p50", "p99",
+             "overhead", "exact"],
+            [[p["connections"], f"{p['offered_load']:.1f}",
+              p["completed"], f"{p['throughput']:.1f}",
+              f"{p['latency'].get('p50', 0.0):.0f}",
+              f"{p['latency'].get('p99', 0.0):.0f}",
+              f"{p['overhead'] * 100:.1f}%",
+              "yes" if p["accounting_exact"] and p["ledger_exact"]
+              else "NO"]
+             for p in results["sweep"]],
+        )
+    )
+    knee = results["knee"]
+    search = results["search"]
+    seed1 = results["search_seed1"]
+    sections.append(
+        f"knee: {knee['connections']} connections at "
+        f"{knee['throughput']:.1f} req/Mcycle\n"
+        f"search (seed {scenario['seed']}): best "
+        f"{search['best_connections']} connections in "
+        f"{search['probes']} probes; reseeded search (seed 1): best "
+        f"{seed1['best_connections']} in {seed1['probes']} probes"
+    )
+    sat = results["saturation"]
+    sections.append(
+        f"saturation (+{sat['attacks']} rop @ {sat['connections']} "
+        f"conns): detection {sat['run_a']['detection_rate']:.0%}, "
+        f"{sat['run_a']['false_quarantines']} false quarantines, "
+        f"digests {sat['run_a']['digest'][:12]} / "
+        f"{sat['run_b']['digest'][:12]}\n"
+        f"faulted ({results['faulted']['connections']} conns, lossy): "
+        f"throughput {results['faulted']['point']['throughput']:.1f} "
+        f"req/Mcycle, ledger "
+        f"{'exact' if results['faulted']['point']['ledger_exact'] else 'DRIFT'}"
+    )
+    sections.append(
+        "Gates: " + ", ".join(
+            f"{name}={'ok' if ok else 'FAIL'}"
+            for name, ok in results["gates"].items()
+        )
+    )
+    return "\n\n".join(sections)

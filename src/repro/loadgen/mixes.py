@@ -1,0 +1,102 @@
+"""Seeded request mixes: what the simulated clients actually send.
+
+A mix is a weighted set of request builders per server.  Every entry
+is drawn from the offline *training corpus* behaviors
+(:func:`repro.experiments.common.training_corpus`), so a clean load
+run exercises only trained control flow — mixes shape the traffic, not
+the verdicts.
+
+Two mixes ship:
+
+- ``steady`` — the legacy constant workload (identical requests, the
+  ab-style driver every experiment has used since PR 1).  Seed-free:
+  the same list regardless of seed, so historical digests are
+  untouched.
+- ``varied`` — a seeded weighted sample over the trained request
+  shapes (different paths, methods, session lengths).  Deterministic:
+  the same ``(server, count, seed)`` always yields the same byte-exact
+  request list, which is what makes bench runs replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.workloads import (
+    exim_session,
+    nginx_request,
+    openssh_session,
+    vsftpd_session,
+)
+
+MIX_NAMES = ("steady", "varied")
+
+_Builder = Callable[[], bytes]
+
+#: the steady (legacy) request per server — one constant session shape.
+_STEADY: Dict[str, _Builder] = {
+    "nginx": lambda: nginx_request("/index.html"),
+    "vsftpd": lambda: vsftpd_session(files=("/srv/file.bin",)),
+    "openssh": lambda: openssh_session(("whoami", "uptime")),
+    "exim": lambda: exim_session(rcpts=2),
+}
+
+#: weighted trained-behavior variants per server.  Weights skew toward
+#: the cheap hot path (the ab-style small-file GET) with a tail of
+#: heavier sessions, like a real access log.
+_VARIED: Dict[str, Sequence[Tuple[int, _Builder]]] = {
+    "nginx": (
+        (4, lambda: nginx_request("/index.html")),
+        (2, lambda: nginx_request("/other.txt")),
+        (1, lambda: nginx_request("/index.html", "HEAD")),
+        (1, lambda: nginx_request("/p", "POST", b"form-data")),
+        (1, lambda: nginx_request("/missing")),
+    ),
+    "vsftpd": (
+        (3, lambda: vsftpd_session(files=("/srv/file.bin",))),
+        (1, lambda: vsftpd_session(files=("/srv/file.bin",) * 2)),
+        (1, lambda: vsftpd_session(files=("/srv/file.bin",), store=True)),
+        (1, lambda: vsftpd_session(files=("/srv/missing",))),
+    ),
+    "openssh": (
+        (3, lambda: openssh_session(("whoami", "uptime"))),
+        (2, lambda: openssh_session(("whoami",))),
+        (1, lambda: openssh_session(("uptime",))),
+        (1, lambda: openssh_session(())),
+    ),
+    "exim": (
+        (3, lambda: exim_session(rcpts=2)),
+        (2, lambda: exim_session(rcpts=1)),
+        (1, lambda: exim_session(rcpts=3)),
+    ),
+}
+
+
+def _rng(server: str, mix: str, seed: int) -> random.Random:
+    # String seeding hashes the bytes (seed version 2), so the stream
+    # is stable across processes and PYTHONHASHSEED values.
+    return random.Random(f"loadgen:{mix}:{server}:{seed}")
+
+
+def mix_requests(
+    server: str,
+    count: int,
+    seed: int = 0,
+    mix: str = "varied",
+) -> List[bytes]:
+    """``count`` deterministic session payloads for ``server``."""
+    if mix == "steady":
+        builder = _STEADY.get(server)
+        if builder is None:
+            raise KeyError(server)
+        return [builder() for _ in range(count)]
+    if mix != "varied":
+        raise KeyError(f"unknown request mix: {mix!r}")
+    entries = _VARIED.get(server)
+    if entries is None:
+        raise KeyError(server)
+    rng = _rng(server, mix, seed)
+    weights = [w for w, _ in entries]
+    builders = [b for _, b in entries]
+    return [b() for b in rng.choices(builders, weights=weights, k=count)]

@@ -5,7 +5,10 @@
 - a **plane dump** (:meth:`ObservabilityPlane.to_dict`, ``kind:
   "plane-dump"``),
 - a **BENCH_observability.json** (the experiment's scenario pairs, each
-  plane-attached scenario carrying its own plane dump), or
+  plane-attached scenario carrying its own plane dump),
+- a **loadgen bench** payload (``kind: "loadgen-bench"``, from ``repro
+  bench`` or ``experiments/loadgen.py``: throughput vs offered load
+  with the SLO-knee callout and the search convergence trace), or
 - a **StatsReport** v3+ (``schema_version`` present; the ``slo``
   section is rendered, the timeseries sections are skipped).
 
@@ -205,6 +208,98 @@ def _plane_dump_blocks(dump: dict, heading_level: int = 2) -> List[Block]:
     return blocks
 
 
+def _loadgen_blocks(payload: dict, title: Optional[str]) -> List[Block]:
+    """The ``repro bench`` report: throughput vs offered load, the
+    SLO-knee callout, and the search convergence trace."""
+    blocks: List[Block] = [
+        ("heading", 1, title or "FlowGuard load-generation report"),
+    ]
+    scenario = payload.get("scenario") or {}
+    if scenario:
+        blocks.append((
+            "para",
+            f"Scenario `{scenario.get('name', '?')}`: "
+            f"{scenario.get('mode', '?')}-loop over "
+            f"{', '.join(scenario.get('servers', []))} "
+            f"(mix `{scenario.get('mix', '?')}`, "
+            f"{scenario.get('workers', '?')} workers, seed "
+            f"{scenario.get('seed', '?')}); SLO p"
+            f"{scenario.get('slo_percentile', 99):.0f} latency ≤ "
+            f"{scenario.get('slo_latency', 0):,.0f} cycles.",
+        ))
+    gates = payload.get("gates") or {}
+    if gates:
+        blocks.append(("heading", 2, "Gates"))
+        blocks.append((
+            "table",
+            ["gate", "result"],
+            [[name, _fmt(ok)] for name, ok in gates.items()],
+        ))
+    sweep = payload.get("sweep") or []
+    if sweep:
+        blocks.append(("heading", 2, "Throughput vs offered load"))
+        blocks.append((
+            "table",
+            ["connections", "offered", "done", "req/Mcycle", "p50",
+             "p99", "overhead", "exact"],
+            [[
+                p["connections"],
+                f"{p['offered_load']:,.1f}",
+                p["completed"],
+                f"{p['throughput']:,.2f}",
+                f"{p['latency']['p50']:,.0f}",
+                f"{p['latency']['p99']:,.0f}",
+                f"{p['overhead']:.1%}",
+                _fmt(p["accounting_exact"] and p["ledger_exact"]),
+            ] for p in sweep],
+        ))
+        blocks.append((
+            "para",
+            "throughput `"
+            + sparkline([p["throughput"] for p in sweep])
+            + "`  p99 latency `"
+            + sparkline([p["latency"]["p99"] for p in sweep])
+            + "`",
+        ))
+    knee = payload.get("knee")
+    search = payload.get("search") or {}
+    callout = []
+    if knee:
+        callout.append(
+            f"Saturation knee at **{knee['connections']} connections** "
+            f"({knee['throughput']:,.2f} req/Mcycle)."
+        )
+    if search:
+        if search.get("best_connections") is not None:
+            callout.append(
+                f"Max throughput under SLO: "
+                f"**{search['max_throughput']:,.2f} req/Mcycle at "
+                f"{search['best_connections']} connections** "
+                f"({search['probes']} probes over "
+                f"[{search['lower']}, {search['upper']}])."
+            )
+        else:
+            callout.append(
+                "Even the lower bound misses the SLO — no sustainable "
+                "operating point."
+            )
+    if callout:
+        blocks.append(("para", " ".join(callout)))
+    trace = search.get("trace") or []
+    if trace:
+        blocks.append(("heading", 2, "SLO search convergence"))
+        blocks.append((
+            "table",
+            ["probe", "connections", "latency", "met", "lower", "upper"],
+            [[
+                row["probe"], row["connections"],
+                f"{row.get('latency', 0):,.0f}",
+                _fmt(row["met"]), row["lower"], row["upper"],
+            ] for row in trace],
+        ))
+    return blocks
+
+
 def build_blocks(payload: dict, title: Optional[str] = None) -> List[Block]:
     """Payload (plane dump / BENCH / StatsReport) -> block model."""
     blocks: List[Block] = []
@@ -212,6 +307,8 @@ def build_blocks(payload: dict, title: Optional[str] = None) -> List[Block]:
         blocks.append(("heading", 1, title or "FlowGuard run report"))
         blocks.extend(_plane_dump_blocks(payload))
         return blocks
+    if payload.get("kind") == "loadgen-bench":
+        return _loadgen_blocks(payload, title)
     if "scenarios" in payload:  # BENCH_observability.json
         blocks.append((
             "heading", 1, title or "FlowGuard observability report",
@@ -263,7 +360,7 @@ def build_blocks(payload: dict, title: Optional[str] = None) -> List[Block]:
         return blocks
     raise ValueError(
         "unrecognized report payload: expected a plane dump, a "
-        "BENCH_observability.json, or a StatsReport"
+        "BENCH_observability.json, a loadgen bench, or a StatsReport"
     )
 
 
