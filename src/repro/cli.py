@@ -476,10 +476,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Closed-loop load bench: sweep, saturation knee, SLO search."""
+    from dataclasses import replace
+
     from repro.experiments.common import format_rows
     from repro.loadgen import resolve_scenario, run_bench
 
     scenario = resolve_scenario(args.scenario)
+    if args.engine is not None:
+        scenario = replace(scenario, engine=args.engine)
     payload = run_bench(scenario, seed=args.seed)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -940,6 +944,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: nginx-closed)")
     bench.add_argument("--seed", type=int, default=None,
                        help="reseed the scenario end to end")
+    bench.add_argument("--engine", choices=["columnar", "objects"],
+                       default=None,
+                       help="override the scenario's fast-path decode "
+                            "engine (default: whatever the scenario "
+                            "specifies)")
     bench.add_argument("--json", action="store_true",
                        help="dump the full payload as JSON to stdout")
     bench.add_argument("--out", default=None, metavar="FILE",

@@ -46,8 +46,17 @@ from repro.fleet.rings import RingPolicy
 from repro.fleet.service import FleetConfig, FleetService
 from repro.ipt.segment_cache import SegmentDecodeCache
 from repro.itccfg.searchindex import FlowSearchIndex
-from repro.monitor.fastpath import ENGINES, FastPathChecker
+from repro.monitor.fastpath import (
+    ENGINES,
+    FastPathChecker,
+    FastPathResult,
+    Verdict,
+)
+from repro.monitor.slowpath import SlowPathEngine
+from repro.monitor.policy import SLOW_LANES, FlowGuardPolicy
+from repro.osmodel.kernel import Kernel
 from repro.resilience import FaultPlan
+from repro.resilience.faults import FaultSite
 
 SEGMENT_CACHE_ENTRIES = 512
 EDGE_CACHE_ENTRIES = 4096
@@ -210,6 +219,171 @@ def run_tail_workload(
     }
 
 
+def _run_lane(server: str, lane: str, pushes: int) -> Tuple[dict, dict, float]:
+    """One degraded-lane run: a fault plan that crashes the fast path on
+    every endpoint check, so each verdict comes from the slow path over
+    the chosen ``slow_lane``.  Returns (row, fingerprint, wall)."""
+    pipeline = server_pipeline(server)
+    kernel = Kernel()
+    seed_server_fs(kernel)
+    plan = FaultPlan(seed=3, fastpath_error=FaultSite(probability=1.0))
+    policy = FlowGuardPolicy(slow_lane=lane)
+    monitor, proc = pipeline.deploy(kernel, policy=policy, faults=plan)
+    for request in server_requests(server, pushes):
+        proc.push_connection(request)
+    t0 = time.perf_counter()
+    kernel.run(proc)
+    wall = time.perf_counter() - t0
+    stats = monitor.protected_for(proc).stats
+    # Everything verdict/cycle/ledger-observable about the run — the
+    # two lanes must be bit-identical on all of it.
+    fingerprint = {
+        "state": proc.state.name,
+        "detections": [
+            (d.pid, d.syscall_nr, d.path, d.reason, d.edge)
+            for d in monitor.detections
+        ],
+        "checks": stats.checks,
+        "slow_path_runs": stats.slow_path_runs,
+        "trace_cycles": stats.trace_cycles,
+        "decode_cycles": stats.decode_cycles,
+        "check_cycles": stats.check_cycles,
+        "other_cycles": stats.other_cycles,
+        "ledger": monitor.degradations.counts(),
+    }
+    row = {
+        "lane": lane,
+        "server": server,
+        "slow_path_runs": stats.slow_path_runs,
+        "wall_s": wall,
+    }
+    return row, fingerprint, wall
+
+
+def _surrogate_results(checker, data: bytes, cuts: List[int]):
+    """Fresh SUSPICIOUS windows, the shape ``_fastpath_surrogate``
+    produces when the fast path crashes mid-check: every snapshot's
+    whole tail window goes to the slow path.  Fresh per call so the
+    objects lane's forced ``LazyPackets`` cannot leak across lanes."""
+    results = []
+    for cut in cuts:
+        tail = checker.decode_tail_columnar(data[:cut])
+        if tail.count < 2:
+            continue
+        results.append(
+            FastPathResult(
+                Verdict.SUSPICIOUS,
+                decode_cycles=tail.cycles,
+                window=tail.window(checker.pkt_count + 1)[0],
+                window_offset=tail.start,
+                packets=tail.lazy_packets(),
+            )
+        )
+    return results
+
+
+def _slow_fingerprint(sr) -> Tuple:
+    return (
+        sr.ok, sr.reason, sr.violation_addr, sr.cycles,
+        sr.insns_decoded, sr.shadow_cycles, tuple(sr.confirmed_pairs),
+    )
+
+
+def _lane_source(result: FastPathResult, lane: str):
+    if lane == "objects":
+        return result.slow_path_packets()
+    return result.slow_path_source()
+
+
+def run_slowlane_workload(
+    pushes: int, snapshots: int, repeats: int
+) -> dict:
+    """The degraded lane: fault-crashed fast-path checks re-verified on
+    the slow path.  The ``objects`` lane materialises the lazy
+    ``DecodedPacket`` list first; the ``columnar`` lane replays the raw
+    segment bytes through the byte cursor.  Two comparisons:
+
+    - **isolated** — surrogate SUSPICIOUS windows over the captured
+      trace's snapshots, the slow check wall-clocked per lane with
+      full :class:`SlowPathResult` bit-identity asserted;
+    - **end-to-end** — one protected run per server per lane under the
+      PR 4 ``fastpath_error`` plan (probability 1.0: *every* endpoint
+      check downgrades), asserting verdicts, cycle stats and the
+      degradation ledger match exactly through the whole monitor.
+    """
+    pipeline, proc, data = capture_trace()
+    slow_engine = SlowPathEngine(proc.machine.memory, pipeline.ocfg)
+    step = max(256, len(data) // snapshots)
+    cuts = list(range(step, len(data), step)) + [len(data)]
+    checker = _make_checker(pipeline, proc, "columnar", False)
+
+    # Identity pass (also warms the decoder's insn cache for both
+    # lanes' timing passes equally).
+    prints: Dict[str, List[Tuple]] = {}
+    for lane in SLOW_LANES:
+        prints[lane] = [
+            _slow_fingerprint(
+                slow_engine.check(
+                    _lane_source(result, lane), window=result.window
+                )
+            )
+            for result in _surrogate_results(checker, data, cuts)
+        ]
+    slow_runs = len(prints["columnar"])
+
+    # Timing passes: fresh surrogate windows per repeat, best-of.
+    walls: Dict[str, float] = {}
+    for lane in SLOW_LANES:
+        best = float("inf")
+        for _ in range(repeats):
+            results = _surrogate_results(checker, data, cuts)
+            t0 = time.perf_counter()
+            for result in results:
+                slow_engine.check(
+                    _lane_source(result, lane), window=result.window
+                )
+            best = min(best, time.perf_counter() - t0)
+        walls[lane] = best
+
+    # End-to-end: every check downgraded, whole-monitor identity.
+    rows: Dict[str, dict] = {}
+    e2e_prints: Dict[str, list] = {}
+    for lane in SLOW_LANES:
+        lane_prints = []
+        for server in ("nginx", "exim"):
+            row, fingerprint, _ = _run_lane(server, lane, pushes)
+            rows[f"{lane}_{server}"] = row
+            lane_prints.append(fingerprint)
+        e2e_prints[lane] = lane_prints
+    e2e_slow_runs = sum(
+        rows[f"columnar_{server}"]["slow_path_runs"]
+        for server in ("nginx", "exim")
+    )
+
+    return {
+        "pushes": pushes,
+        "snapshots": len(cuts),
+        "repeats": repeats,
+        "slow_path_runs": slow_runs,
+        "e2e_slow_path_runs": e2e_slow_runs,
+        "runs": rows,
+        "wall_objects_s": walls["objects"],
+        "wall_columnar_s": walls["columnar"],
+        "wall_ratio": (
+            walls["objects"] / walls["columnar"]
+            if walls["columnar"] else float("inf")
+        ),
+        "identical": (
+            prints["objects"] == prints["columnar"]
+            and slow_runs > 0
+        ),
+        "e2e_identical": (
+            e2e_prints["objects"] == e2e_prints["columnar"]
+            and e2e_slow_runs > 0
+        ),
+    }
+
+
 def _fleet_verdicts(service: FleetService) -> Dict[int, List[Tuple]]:
     verdicts: Dict[int, List[Tuple]] = {}
     for task in service.dispatcher.tasks:
@@ -303,6 +477,11 @@ def run(quick: bool = False) -> dict:
         snapshots=12 if quick else 24,
         repeats=2 if quick else 3,
     )
+    slowlane = run_slowlane_workload(
+        pushes=3 if quick else 6,
+        snapshots=12 if quick else 24,
+        repeats=2 if quick else 3,
+    )
     fleet = run_fleet_workload(
         processes=2 if quick else 4,
         sessions=1 if quick else 2,
@@ -312,9 +491,15 @@ def run(quick: bool = False) -> dict:
         "segment_cache_entries": SEGMENT_CACHE_ENTRIES,
         "edge_cache_entries": EDGE_CACHE_ENTRIES,
         "tail": tail,
+        "slowlane": slowlane,
         "fleet": fleet,
         "gates": {
             "tail_wall_ratio_2x": tail["wall_ratio_uncached"] >= 2.0,
+            "tail_wall_ratio_cached_2x": tail["wall_ratio_cached"] >= 2.0,
+            "slowlane_columnar_faster": slowlane["wall_ratio"] > 1.0,
+            "slowlane_identical": (
+                slowlane["identical"] and slowlane["e2e_identical"]
+            ),
             "tail_verdicts_identical": (
                 tail["verdicts_identical_uncached"]
                 and tail["verdicts_identical_cached"]
@@ -372,6 +557,20 @@ def format_table(results: dict) -> str:
         f"cycles identical: {tail['cycles_identical_uncached']} / "
         f"{tail['cycles_identical_cached']}, "
         f"telemetry identical: {tail['telemetry_identical']}"
+    )
+    slowlane = results["slowlane"]
+    lines.append("")
+    lines.append(
+        "Degraded lane (fast path crashed, slow-path re-verification, "
+        f"{slowlane['slow_path_runs']} slow runs):"
+    )
+    lines.append(
+        f"  {slowlane['wall_objects_s'] * 1e3:>8.2f} ms objects lane -> "
+        f"{slowlane['wall_columnar_s'] * 1e3:>8.2f} ms columnar lane "
+        f"({slowlane['wall_ratio']:.2f}x), "
+        f"results identical: {slowlane['identical']}, "
+        f"end-to-end identical: {slowlane['e2e_identical']} "
+        f"({slowlane['e2e_slow_path_runs']} downgraded checks)"
     )
     fleet = results["fleet"]
     lines.append("")

@@ -65,6 +65,12 @@ class FleetConfig:
     #: fast-path decode engine for the default policy and the threaded
     #: decoder: ``"columnar"`` (default) or ``"objects"``.
     engine: str = "columnar"
+    #: columnar scan-kernel mode for the default policy: ``"auto"``
+    #: (default — C kernel when buildable), ``"on"`` or ``"off"``.
+    scan_kernel: str = "auto"
+    #: slow-path lane for the default policy: ``"columnar"`` (default —
+    #: object-free byte replay) or ``"objects"``.
+    slow_lane: str = "columnar"
     seed: int = 0
     #: deterministic fault plan (None = fault-free run).
     faults: Optional[FaultPlan] = None
@@ -217,6 +223,8 @@ class FleetService:
                 segment_cache_entries=self.config.segment_cache_entries,
                 edge_cache_entries=self.config.edge_cache_entries,
                 engine=self.config.engine,
+                scan_kernel=self.config.scan_kernel,
+                slow_lane=self.config.slow_lane,
             )
         self.pool = SimulatedWorkerPool(self.config.workers)
         self.dispatcher = FleetDispatcher(

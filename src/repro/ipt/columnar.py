@@ -23,10 +23,19 @@ column                  contents
 ``fup_ips``             ``array('Q')`` — FUP source addresses
 ======================  ====================================================
 
-The scanner dispatches on a precomputed 256-entry header table
-(:data:`DISPATCH`) and a TNT width table (:data:`TNT_WIDTH`), so the hot
-loop is index-compare-advance with no dataclass construction and no
-enum dispatch.
+Three interchangeable scanners produce these columns, all
+verdict-bit-identical:
+
+- :func:`columnar_scan_reference` — the original per-byte walk over the
+  256-entry :data:`DISPATCH` / :data:`TNT_WIDTH` tables (the oracle the
+  property tests compare against);
+- the vectorised pure-Python scan — PAD runs and TNT packet runs are
+  consumed per *run* (regex pre-classification + ``bytes.translate``
+  width lookup + one bulk bit flush), PSB sync uses ``bytes.find``;
+- the optional C kernel (:mod:`repro.ipt.scan_kernel`) — the same loop
+  compiled with the host C compiler, gated on build availability with
+  the pure-Python scan as fallback.  ``REPRO_SCAN_KERNEL`` /
+  :func:`set_scan_kernel` pick ``auto`` (default), ``on`` or ``off``.
 
 **Contracts** (the columnar experiment gates all three):
 
@@ -40,24 +49,31 @@ enum dispatch.
 - *lazy materialisation*: legacy ``DecodedPacket`` lists are rebuilt on
   demand by running the object engine over the retained segment bytes
   (``charge=False, telemetry=False`` — the columnar scan already
-  charged and counted them), so the slow path and the tests see exactly
-  the objects they always did while the fast path never pays for them.
+  charged and counted them), while the degraded lane
+  (:class:`ColumnarSlowSource` + the byte cursor) re-verifies
+  SUSPICIOUS windows straight off the raw bytes without materialising
+  packet objects at all.
 """
 
 from __future__ import annotations
 
+import ctypes
+import os
+import re
 from array import array
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
 from repro import costs
 from repro.telemetry import get_telemetry
+from repro.ipt import scan_kernel
 from repro.ipt.fast_decoder import (
     TipRecord,
     fast_decode,
     psb_boundaries,
     sync_to_psb,
 )
+from repro.ipt.full_decoder import TraceMismatch
 from repro.ipt.packets import (
     FUP_HEADER,
     OVF_BYTE,
@@ -68,6 +84,7 @@ from repro.ipt.packets import (
     TIP_HEADER,
     TIP_PGD_HEADER,
     TIP_PGE_HEADER,
+    TNT_BITS_TABLE,
     TNT_HEADER,
     compose_tnt_sigs,
     unpack_tnt_sig,
@@ -91,6 +108,19 @@ _A_PSB = 6
 _A_PSBEND = 7
 _A_OVF = 8
 _A_BAD = 9
+
+#: action code -> the ``PacketKind.value`` string the object cursor
+#: reports in ``TraceMismatch`` messages.
+_ACTION_KIND = (
+    "tnt", "tip", "tip.pge", "tip.pgd", "fup", "pad", "psb", "psbend",
+    "ovf", "?",
+)
+
+_END = -1  # byte-cursor stream end
+
+#: bounded per-base record-materialisation memo (matches the object
+#: cache's rebase memo limit).
+_MEMO_LIMIT = 8
 
 
 def _build_dispatch() -> bytes:
@@ -124,13 +154,72 @@ DISPATCH = _build_dispatch()
 #: 256-entry TNT payload width table.
 TNT_WIDTH = _build_tnt_width()
 
+#: a maximal run of PAD bytes.
+_PAD_RUN = re.compile(rb"\x00+")
+#: a maximal run of complete, *valid* TNT packets — the character class
+#: is exactly the valid payload range, so a non-match at a TNT header
+#: is either truncation or an invalid payload (resolved scalar-side
+#: with the byte-identical error).
+_TNT_RUN = re.compile(rb"(?:\x02[\x02-\x7f])+")
+
+# -- scan-kernel gating ------------------------------------------------------
+
+_KERNEL_MODES = ("auto", "on", "off")
+
+#: the C kernel needs LP64 column arrays (it fills u64 buffers the
+#: wrapper adopts verbatim with ``array.frombytes``).
+_KERNEL_ABI_OK = array("L").itemsize == 8
+
+_kernel_mode = os.environ.get("REPRO_SCAN_KERNEL", "auto")
+if _kernel_mode not in _KERNEL_MODES:
+    _kernel_mode = "auto"
+
+
+def set_scan_kernel(mode: str) -> str:
+    """Set the process-wide scan-kernel mode; returns the previous one.
+
+    ``auto`` uses the C kernel when it builds, ``off`` forces the
+    pure-Python scan, ``on`` requires the kernel (the first scan raises
+    ``RuntimeError`` if it cannot be built).  The ``REPRO_SCAN_KERNEL``
+    environment variable provides the initial value.
+    """
+    global _kernel_mode
+    if mode not in _KERNEL_MODES:
+        raise ValueError(
+            f"unknown scan-kernel mode {mode!r}; pick one of {_KERNEL_MODES}"
+        )
+    previous = _kernel_mode
+    _kernel_mode = mode
+    return previous
+
+
+def scan_kernel_mode() -> str:
+    return _kernel_mode
+
+
+def scan_kernel_active() -> bool:
+    """Whether the next ``columnar_scan`` will run the C kernel."""
+    return (
+        _kernel_mode != "off"
+        and _KERNEL_ABI_OK
+        and scan_kernel.available()
+    )
+
 
 def _bits_sig(buf, start: int, end: int) -> int:
-    """Signature of bitstream slice ``[start, end)`` (1-prefixed)."""
-    sig = 1
-    for position in range(start, end):
-        sig = (sig << 1) | ((buf[position >> 3] >> (7 - (position & 7))) & 1)
-    return sig
+    """Signature of bitstream slice ``[start, end)`` (1-prefixed).
+
+    One ``int.from_bytes`` over the covering byte range instead of a
+    per-bit loop — the window-materialisation hot spot before the memo
+    columns existed, still used to build them.
+    """
+    if start >= end:
+        return 1
+    width = end - start
+    first = start >> 3
+    last = (end + 7) >> 3
+    chunk = int.from_bytes(buf[first:last], "big") >> ((last << 3) - end)
+    return (1 << width) | (chunk & ((1 << width) - 1))
 
 
 class ColumnarSegment:
@@ -139,6 +228,11 @@ class ColumnarSegment:
     Offsets in the columns are relative to ``data``; consumers carry the
     segment's stream base separately and add it at materialisation time,
     which is what makes cached segments rebase zero-copy.
+
+    Materialised *window* shapes are memoised on the segment
+    (``sig_column``/``ip_column``/``tnt_column``/``records_at``), so a
+    cache-resident segment pays the unpack cost once and every warm hit
+    serves list slices.
     """
 
     __slots__ = (
@@ -146,6 +240,7 @@ class ColumnarSegment:
         "truncated", "rec_ips", "rec_offsets", "rec_bit_start",
         "rec_bit_end", "tnt_bits", "total_bits", "pend_start",
         "trailing_far", "far_mask", "fup_ips", "_packets",
+        "_sigs", "_ips", "_tnts", "_recmemo",
     )
 
     def __init__(
@@ -184,6 +279,10 @@ class ColumnarSegment:
         self.far_mask = far_mask
         self.fup_ips = fup_ips
         self._packets: Optional[list] = None
+        self._sigs: Optional[list] = None
+        self._ips: Optional[list] = None
+        self._tnts: Optional[list] = None
+        self._recmemo: Optional[dict] = None
 
     # -- columnar access -----------------------------------------------------
 
@@ -206,17 +305,72 @@ class ColumnarSegment:
         raw = self.rec_ips[index]
         return None if raw == NO_IP else raw
 
+    # -- memoised window columns ---------------------------------------------
+
+    def sig_column(self) -> list:
+        """Packed signature per record (shared memo — do not mutate)."""
+        sigs = self._sigs
+        if sigs is None:
+            tnt = self.tnt_bits
+            starts = self.rec_bit_start
+            ends = self.rec_bit_end
+            sigs = [
+                _bits_sig(tnt, starts[i], ends[i])
+                for i in range(len(starts))
+            ]
+            self._sigs = sigs
+        return sigs
+
+    def ip_column(self) -> list:
+        """IP-or-None per record (shared memo — do not mutate)."""
+        ips = self._ips
+        if ips is None:
+            ips = [None if raw == NO_IP else raw for raw in self.rec_ips]
+            self._ips = ips
+        return ips
+
+    def tnt_column(self) -> list:
+        """TNT bit tuple per record (shared memo — do not mutate)."""
+        tnts = self._tnts
+        if tnts is None:
+            tnts = [unpack_tnt_sig(sig) for sig in self.sig_column()]
+            self._tnts = tnts
+        return tnts
+
+    def records_at(self, base: int) -> list:
+        """Unpatched :class:`TipRecord` list rebased to ``base``,
+        memoised per base (shared — callers slice, never mutate)."""
+        memo = self._recmemo
+        if memo is None:
+            memo = self._recmemo = {}
+        records = memo.get(base)
+        if records is None:
+            ips = self.ip_column()
+            tnts = self.tnt_column()
+            offsets = self.rec_offsets
+            far_mask = self.far_mask
+            records = [
+                TipRecord(
+                    ips[i], tnts[i], offsets[i] + base,
+                    bool((far_mask >> i) & 1),
+                )
+                for i in range(len(ips))
+            ]
+            if len(memo) < _MEMO_LIMIT:
+                memo[base] = records
+        return records
+
     # -- legacy materialisation ----------------------------------------------
 
     def tip_records_with_state(
         self, base: int = 0
     ) -> Tuple[List[TipRecord], Tuple[bool, ...], bool]:
         """Materialise the full legacy record list + trailing state."""
-        records = [
-            self.materialise_record(index, base)
-            for index in range(len(self.rec_ips))
-        ]
-        return records, unpack_tnt_sig(self.trailing_sig()), self.trailing_far
+        return (
+            list(self.records_at(base)),
+            unpack_tnt_sig(self.trailing_sig()),
+            self.trailing_far,
+        )
 
     def tip_records(self, base: int = 0) -> List[TipRecord]:
         return self.tip_records_with_state(base)[0]
@@ -260,6 +414,38 @@ class ColumnarSegment:
         ]
 
 
+def _empty_segment(data, sync: bool) -> ColumnarSegment:
+    return ColumnarSegment(
+        data, sync, len(data), 0, 0.0, False,
+        array("Q"), array("Q"), array("L"), array("L"),
+        b"", 0, 0, False, 0, array("Q"),
+    )
+
+
+def _finish_segment(
+    data, sync, synced, pos, pkt_count, charge, truncated,
+    rec_ips, rec_offsets, rec_bit_start, rec_bit_end,
+    tnt_bits, total_bits, pend_start, after_far, far_mask, fup_ips,
+) -> ColumnarSegment:
+    """Shared scan epilogue: the identical cycle charge and telemetry
+    counters regardless of which scanner produced the columns."""
+    cycles = (
+        (pos - synced) * costs.FAST_DECODE_CYCLES_PER_BYTE if charge else 0.0
+    )
+    tel = get_telemetry()
+    if tel.enabled:
+        m = tel.metrics
+        m.counter("ipt.fast_decode.calls").inc()
+        m.counter("ipt.fast_decode.bytes").inc(pos - synced)
+        m.counter("ipt.fast_decode.packets").inc(pkt_count)
+    return ColumnarSegment(
+        data, sync, synced, pkt_count, cycles, truncated,
+        rec_ips, rec_offsets, rec_bit_start, rec_bit_end,
+        tnt_bits, total_bits, pend_start, after_far,
+        far_mask, fup_ips,
+    )
+
+
 def columnar_scan(
     data, sync: bool = False, charge: bool = True
 ) -> ColumnarSegment:
@@ -270,16 +456,248 @@ def columnar_scan(
     charged cycles and the same ``ipt.fast_decode.*`` telemetry counters
     (the counters meter scan work, which is identical — only the output
     representation differs).
+
+    Dispatches to the C kernel when the current mode allows it and the
+    kernel built, otherwise to the vectorised pure-Python scan; both are
+    column-identical to :func:`columnar_scan_reference`.
     """
+    if _kernel_mode != "off":
+        lib = scan_kernel.load() if _KERNEL_ABI_OK else None
+        if lib is not None:
+            return _scan_kernel_segment(lib, data, sync, charge)
+        if _kernel_mode == "on":
+            reason = (
+                scan_kernel.build_error()
+                if _KERNEL_ABI_OK else "array('L') is not 64-bit here"
+            )
+            raise RuntimeError(
+                f"scan kernel forced on but unavailable: {reason}"
+            )
+    return _scan_python(data, sync, charge)
+
+
+def _scan_python(data, sync: bool, charge: bool) -> ColumnarSegment:
+    """The vectorised pure-Python scan.
+
+    PAD and TNT packets — the overwhelming bulk of a real stream — are
+    consumed per *run*: a regex pre-classification finds each maximal
+    run, ``bytes.translate`` over :data:`TNT_WIDTH` yields every
+    payload's width in one call, and the accumulated bits flush to the
+    packed stream in one ``int.to_bytes``.  The IP family stays scalar
+    (IP compression chains ``last_ip`` sequentially).  PSB sync is a
+    single ``bytes.find``.
+    """
+    raw = data if isinstance(data, bytes) else bytes(data)
+    pos = 0
+    if sync:
+        pos = raw.find(PSB_PATTERN)
+        if pos < 0:
+            return _empty_segment(data, sync)
+    synced = pos
+    size = len(raw)
+    dispatch = DISPATCH
+    tnt_width = TNT_WIDTH
+    psb = PSB_PATTERN
+    psb_len = len(psb)
+    pad_run = _PAD_RUN.match
+    tnt_run = _TNT_RUN.match
+
+    rec_ips = array("Q")
+    rec_offsets = array("Q")
+    rec_bit_start = array("L")
+    rec_bit_end = array("L")
+    fup_ips = array("Q")
+    add_ip = rec_ips.append
+    add_offset = rec_offsets.append
+    add_bit_start = rec_bit_start.append
+    add_bit_end = rec_bit_end.append
+    add_fup = fup_ips.append
+
+    tnt_buf = bytearray()
+    acc = 0  # bit accumulator, bulk-flushed per TNT run
+    acc_bits = 0
+    total_bits = 0
+    pend_start = 0
+    far_mask = 0
+    after_far = False
+    last_ip = 0
+    pkt_count = 0
+    truncated = False
+
+    while pos < size:
+        action = dispatch[raw[pos]]
+        if action == _A_TNT:
+            match = tnt_run(raw, pos)
+            if match is None:
+                if pos + 2 > size:
+                    truncated = True
+                    break
+                raise PacketError(
+                    f"invalid TNT payload {raw[pos + 1]:#x}"
+                )
+            end = match.end()
+            payloads = raw[pos + 1:end:2]
+            widths = payloads.translate(tnt_width)
+            for payload, width in zip(payloads, widths):
+                acc = (acc << width) | (payload ^ (1 << width))
+            run_bits = sum(widths)
+            acc_bits += run_bits
+            total_bits += run_bits
+            if acc_bits >= 8:
+                rem = acc_bits & 7
+                tnt_buf += (acc >> rem).to_bytes(acc_bits >> 3, "big")
+                acc &= (1 << rem) - 1
+                acc_bits = rem
+            pkt_count += len(payloads)
+            pos = end
+        elif action <= _A_FUP:  # TIP / TIP.PGE / TIP.PGD / FUP
+            if pos + 2 > size:
+                truncated = True
+                break
+            width = raw[pos + 1]
+            if width > 8:
+                raise PacketError(
+                    f"desynchronised at offset {pos}: "
+                    f"IP width {width} impossible"
+                )
+            end = pos + 2 + width
+            if end > size:
+                truncated = True
+                break
+            if width == 0:
+                ip: Optional[int] = None
+            else:
+                mask = (1 << (8 * width)) - 1
+                ip = (last_ip & ~mask) | int.from_bytes(
+                    raw[pos + 2:end], "little"
+                )
+                last_ip = ip
+            if action == _A_TIP:
+                if after_far:
+                    far_mask |= 1 << len(rec_ips)
+                    after_far = False
+                add_ip(NO_IP if ip is None else ip)
+                add_offset(pos)
+                add_bit_start(pend_start)
+                add_bit_end(total_bits)
+                pend_start = total_bits
+            elif action == _A_PGE:
+                after_far = True
+            elif action == _A_FUP and ip is not None:
+                add_fup(ip)
+            pkt_count += 1
+            pos = end
+        elif action == _A_PAD:
+            pos = pad_run(raw, pos).end()
+        elif action == _A_PSB and raw[pos:pos + psb_len] == psb:
+            last_ip = 0
+            pkt_count += 1
+            pos += psb_len
+        elif action == _A_PSBEND or action == _A_OVF:
+            pkt_count += 1
+            pos += 1
+        elif psb[: size - pos] == raw[pos:]:
+            # The buffer ends inside a PSB pattern (including a lead
+            # 0x82 whose pattern was cut): clean truncation, not desync.
+            truncated = True
+            break
+        else:
+            raise PacketError(
+                f"desynchronised at offset {pos}: header {raw[pos]:#04x}"
+            )
+
+    if acc_bits:
+        tnt_buf.append((acc << (8 - acc_bits)) & 0xFF)
+
+    return _finish_segment(
+        data, sync, synced, pos, pkt_count, charge, truncated,
+        rec_ips, rec_offsets, rec_bit_start, rec_bit_end,
+        bytes(tnt_buf), total_bits, pend_start, after_far,
+        far_mask, fup_ips,
+    )
+
+
+def _scan_kernel_segment(lib, data, sync: bool, charge: bool) -> ColumnarSegment:
+    """Run the C kernel and adopt its buffers into the column arrays."""
+    raw = data if isinstance(data, bytes) else bytes(data)
+    pos = 0
+    if sync:
+        pos = raw.find(PSB_PATTERN)
+        if pos < 0:
+            return _empty_segment(data, sync)
+    size = len(raw)
+    span = size - pos
+    # Worst-case capacities: every record-bearing packet is >= 2 bytes,
+    # every TNT pair contributes <= 6 bits.
+    max_rec = span // 2 + 1
+    ips_buf = bytearray(8 * max_rec)
+    offs_buf = bytearray(8 * max_rec)
+    bit_start_buf = bytearray(8 * max_rec)
+    bit_end_buf = bytearray(8 * max_rec)
+    tnt_buf = bytearray((span * 3) // 8 + 2)
+    fup_buf = bytearray(8 * max_rec)
+    far_buf = bytearray(max_rec // 8 + 1)
+    out = (ctypes.c_uint64 * 12)()
+
+    def cbuf(buf):
+        return (ctypes.c_char * len(buf)).from_buffer(buf)
+
+    status = lib.ipt_scan(
+        raw, ctypes.c_long(size), ctypes.c_long(pos),
+        cbuf(ips_buf), cbuf(offs_buf), cbuf(bit_start_buf),
+        cbuf(bit_end_buf), cbuf(tnt_buf), cbuf(fup_buf), cbuf(far_buf),
+        out,
+    )
+    if status:
+        err_offset = out[9]
+        err_value = out[10]
+        if status == 1:
+            raise PacketError(f"invalid TNT payload {err_value:#x}")
+        if status == 2:
+            raise PacketError(
+                f"desynchronised at offset {err_offset}: "
+                f"IP width {err_value} impossible"
+            )
+        raise PacketError(
+            f"desynchronised at offset {err_offset}: "
+            f"header {err_value:#04x}"
+        )
+    end_pos = out[0]
+    pkt_count = out[1]
+    nrec = out[2]
+    ntnt = out[3]
+    nfup = out[8]
+    rec_ips = array("Q")
+    rec_ips.frombytes(memoryview(ips_buf)[: 8 * nrec])
+    rec_offsets = array("Q")
+    rec_offsets.frombytes(memoryview(offs_buf)[: 8 * nrec])
+    rec_bit_start = array("L")
+    rec_bit_start.frombytes(memoryview(bit_start_buf)[: 8 * nrec])
+    rec_bit_end = array("L")
+    rec_bit_end.frombytes(memoryview(bit_end_buf)[: 8 * nrec])
+    fup_ips = array("Q")
+    fup_ips.frombytes(memoryview(fup_buf)[: 8 * nfup])
+    far_mask = (
+        int.from_bytes(far_buf[: (nrec + 7) // 8], "little") if nrec else 0
+    )
+    return _finish_segment(
+        data, sync, pos, end_pos, pkt_count, charge, bool(out[7]),
+        rec_ips, rec_offsets, rec_bit_start, rec_bit_end,
+        bytes(tnt_buf[:ntnt]), out[4], out[5], bool(out[6]),
+        far_mask, fup_ips,
+    )
+
+
+def columnar_scan_reference(
+    data, sync: bool = False, charge: bool = True
+) -> ColumnarSegment:
+    """The original per-byte dispatch walk, kept verbatim as the oracle
+    the vectorised scan and the C kernel are property-tested against."""
     pos = 0
     if sync:
         pos = sync_to_psb(data)
         if pos < 0:
-            return ColumnarSegment(
-                data, sync, len(data), 0, 0.0, False,
-                array("Q"), array("Q"), array("L"), array("L"),
-                b"", 0, 0, False, 0, array("Q"),
-            )
+            return _empty_segment(data, sync)
     synced = pos
     size = len(data)
     dispatch = DISPATCH
@@ -388,17 +806,8 @@ def columnar_scan(
     if acc_bits:
         emit_byte((acc << (8 - acc_bits)) & 0xFF)
 
-    cycles = (
-        (pos - synced) * costs.FAST_DECODE_CYCLES_PER_BYTE if charge else 0.0
-    )
-    tel = get_telemetry()
-    if tel.enabled:
-        m = tel.metrics
-        m.counter("ipt.fast_decode.calls").inc()
-        m.counter("ipt.fast_decode.bytes").inc(pos - synced)
-        m.counter("ipt.fast_decode.packets").inc(pkt_count)
-    return ColumnarSegment(
-        data, sync, synced, pkt_count, cycles, truncated,
+    return _finish_segment(
+        data, sync, synced, pos, pkt_count, charge, truncated,
         rec_ips, rec_offsets, rec_bit_start, rec_bit_end,
         bytes(tnt_buf), total_bits, pend_start, after_far,
         far_mask, fup_ips,
@@ -422,6 +831,79 @@ class _TailEntry:
         self.patch_far = False
 
 
+class LazyRecords:
+    """A window's legacy :class:`TipRecord` sequence, built on demand.
+
+    The batched fast path verdicts on the ip/sig columns alone, so the
+    record objects a :class:`FastPathResult` carries are only needed on
+    hand-off — slow-path replay, telemetry, fingerprints.  This defers
+    their materialisation (slices of the owning segments' memoised
+    record columns, head-stitch patch applied to the fresh copy) until
+    something actually indexes, iterates or compares the window; a
+    PASS verdict never pays for it.  ``parts`` are ``(entry, lo)``
+    latest-first, exactly the slices :meth:`ColumnarTail.window` chose.
+    """
+
+    __slots__ = ("_parts", "_items")
+
+    def __init__(self, parts) -> None:
+        self._parts = parts
+        self._items: Optional[list] = None
+
+    def _force(self) -> list:
+        items = self._items
+        if items is None:
+            items = []
+            parts = self._parts
+            for index in range(len(parts) - 1, -1, -1):
+                entry, lo = parts[index]
+                seg = entry.seg
+                recs = seg.records_at(entry.base)[lo:]
+                if lo == 0 and (entry.patch_sig != 1 or entry.patch_far):
+                    head = recs[0]
+                    tnt = head.tnt_before
+                    if entry.patch_sig != 1:
+                        tnt = unpack_tnt_sig(compose_tnt_sigs(
+                            entry.patch_sig, seg.sig_column()[0]
+                        ))
+                    recs[0] = TipRecord(
+                        head.ip, tnt, head.offset,
+                        head.after_far or entry.patch_far,
+                    )
+                items.extend(recs)
+            self._items = items
+        return items
+
+    def __len__(self) -> int:
+        total = 0
+        for entry, lo in self._parts:
+            total += entry.seg.record_count - lo
+        return total
+
+    def __bool__(self) -> bool:
+        return bool(self._parts)
+
+    def __getitem__(self, index):
+        return self._force()[index]
+
+    def __iter__(self):
+        return iter(self._force())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyRecords):
+            return self._force() == other._force()
+        if isinstance(other, (list, tuple)):
+            return self._force() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        state = (
+            f"{len(self._items)} records"
+            if self._items is not None else "unmaterialised"
+        )
+        return f"LazyRecords({state})"
+
+
 class ColumnarTail:
     """Backward-accumulated PSB segments, stored latest-first.
 
@@ -429,7 +911,9 @@ class ColumnarTail:
     records with a list concatenation and patches the head record in
     place.  Here prepending is an O(1) append of a :class:`_TailEntry`
     and the head patch is a signature composition — nothing materialises
-    until a window is requested.
+    until a window is requested, and window materialisation itself
+    serves slices of the segments' memo columns (so a warm segment cache
+    means warm windows too).
     """
 
     __slots__ = ("entries", "count", "cycles", "start", "_head")
@@ -483,11 +967,19 @@ class ColumnarTail:
     def window(self, n: int):
         """Materialise the last ``n`` records.
 
-        Returns ``(records, ips, sigs)``: legacy :class:`TipRecord`
-        objects for hand-off/telemetry, plus the raw ip and packed-TNT
-        columns the batched edge check consumes directly.
+        Returns ``(records, ips, sigs)``: the raw ip and packed-TNT
+        columns the batched edge check consumes directly (slices of the
+        segments' memo columns; a stitch patch lands on the fresh slice
+        copy, never the memo), plus the legacy :class:`TipRecord`
+        window as a :class:`LazyRecords` sequence — the verdict is
+        computed from the columns alone, so the record objects only
+        build when a consumer (slow-path hand-off, telemetry,
+        fingerprinting) actually touches them.  A PASS check never
+        pays for them.
         """
-        picked = []  # latest-first, reversed at the end
+        rec_parts = []  # (entry, lo) latest-first
+        ip_parts = []
+        sig_parts = []
         need = n
         for entry in self.entries:
             seg = entry.seg
@@ -495,19 +987,26 @@ class ColumnarTail:
             if not record_count:
                 continue
             take = record_count if record_count < need else need
-            for index in range(record_count - 1, record_count - take - 1, -1):
-                picked.append(self._effective(entry, index))
+            lo = record_count - take
+            ips = seg.ip_column()[lo:]
+            sigs = seg.sig_column()[lo:]
+            if lo == 0 and entry.patch_sig != 1:
+                sigs[0] = compose_tnt_sigs(entry.patch_sig, sigs[0])
+            rec_parts.append((entry, lo))
+            ip_parts.append(ips)
+            sig_parts.append(sigs)
             need -= take
             if not need:
                 break
-        picked.reverse()
-        records = [
-            TipRecord(ip, unpack_tnt_sig(sig), offset, far)
-            for ip, sig, offset, far in picked
-        ]
-        ips = [item[0] for item in picked]
-        sigs = [item[1] for item in picked]
-        return records, ips, sigs
+        records = LazyRecords(tuple(rec_parts))
+        if len(ip_parts) == 1:
+            return records, ip_parts[0], sig_parts[0]
+        ips_out: list = []
+        sigs_out: list = []
+        for index in range(len(ip_parts) - 1, -1, -1):
+            ips_out.extend(ip_parts[index])
+            sigs_out.extend(sig_parts[index])
+        return records, ips_out, sigs_out
 
     def records(self) -> List[TipRecord]:
         """The full tail, materialised (legacy ``decode_tail`` shape)."""
@@ -516,23 +1015,24 @@ class ColumnarTail:
     def last_ips(self, n: int) -> list:
         """IPs of the last ``n`` records (module-span requirement
         checks) without building records or signatures."""
-        ips = []
+        parts = []
         need = n
         for entry in self.entries:
-            column = entry.seg.rec_ips
-            record_count = len(column)
+            seg = entry.seg
+            record_count = seg.record_count
             if not record_count:
                 continue
             take = record_count if record_count < need else need
-            for index in range(
-                record_count - 1, record_count - take - 1, -1
-            ):
-                raw = column[index]
-                ips.append(None if raw == NO_IP else raw)
+            parts.append(seg.ip_column()[record_count - take:])
             need -= take
             if not need:
                 break
-        ips.reverse()
+        if len(parts) == 1:
+            return parts[0]
+        parts.reverse()
+        ips: list = []
+        for part in parts:
+            ips.extend(part)
         return ips
 
     def lazy_packets(self) -> "LazyPackets":
@@ -544,7 +1044,9 @@ class LazyPackets:
     when the slow path or a test actually indexes/iterates/compares.
 
     The fast path threads this through ``FastPathResult.packets``
-    untouched; a PASS verdict never pays for packet objects.
+    untouched; a PASS verdict never pays for packet objects, and the
+    degraded lane sidesteps materialisation entirely via
+    :meth:`slow_source`.
     """
 
     __slots__ = ("_entries", "_items")
@@ -561,6 +1063,31 @@ class LazyPackets:
                 items.extend(entry.seg.packets_at(entry.base))
             self._items = items
         return self._items
+
+    def slow_source(
+        self, window_start: Optional[int] = None
+    ) -> "ColumnarSlowSource":
+        """Object-free slow-path hand-off.
+
+        Mirrors ``FastPathResult.slow_path_packets`` trimming — the
+        segments from the PSB sync point nearest at-or-before
+        ``window_start`` onward (all of them when ``window_start`` is
+        None) — but hands the slow path raw segment bytes + bases
+        instead of materialised packets.
+        """
+        entries = self._entries  # latest-first, strictly decreasing base
+        if window_start is None:
+            picked = list(entries)
+        else:
+            picked = []
+            for entry in entries:
+                picked.append(entry)
+                if entry.base <= window_start:
+                    break
+        picked.reverse()
+        return ColumnarSlowSource(
+            [(entry.seg, entry.base) for entry in picked]
+        )
 
     def __len__(self) -> int:
         return len(self._force())
@@ -587,6 +1114,239 @@ class LazyPackets:
         if self._items is None:
             return f"LazyPackets(<unmaterialised, {len(self._entries)} segments>)"
         return repr(self._items)
+
+
+# -- the degraded lane: byte-level slow-path replay --------------------------
+
+
+class ColumnarSlowSource:
+    """Slow-path input that stays columnar: the suspicious window's
+    segments as ``(ColumnarSegment, stream_base)`` pairs in stream
+    order.  ``FullDecoder.decode`` recognises the :meth:`cursor` hook
+    and walks the raw bytes directly — no ``DecodedPacket`` objects —
+    with cycle charges and ``TraceMismatch`` behaviour identical to the
+    packet-list path.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts) -> None:
+        self.parts = parts
+
+    def cursor(self) -> "_ByteCursor":
+        return _ByteCursor(self.parts)
+
+
+class _ByteCursor:
+    """Byte-level mirror of ``full_decoder._PacketCursor``.
+
+    Parses packets straight out of the retained segment bytes —
+    maintaining IP compression state, skipping PAD silently (the object
+    engine emits no PAD packets) and PSB+ groups on demand — so the
+    degraded lane never allocates packet objects.  Consumption rules
+    and every ``TraceMismatch`` message match the packet cursor
+    exactly; ``PacketError`` conditions cannot arise on segments that
+    already scanned cleanly, but are mirrored for parity anyway.
+    """
+
+    __slots__ = ("_parts", "_part", "_raw", "_size", "_pos", "_base",
+                 "_last_ip", "_bits", "_offset", "_payload", "_ip")
+
+    def __init__(self, parts) -> None:
+        self._parts = parts
+        self._part = -1
+        self._raw = b""
+        self._size = 0
+        self._pos = 0
+        self._base = 0
+        self._last_ip = 0
+        self._bits: list = []
+        self._offset = 0
+        self._payload = 0
+        self._ip: Optional[int] = None
+
+    def _advance(self) -> int:
+        """Decode the next packet; returns its action code or ``_END``.
+
+        Sets ``_offset`` (stream-absolute) for every packet, ``_ip``
+        for the IP family (None = suppressed) and ``_payload`` for TNT.
+        """
+        while True:
+            raw = self._raw
+            size = self._size
+            pos = self._pos
+            while pos < size:
+                action = DISPATCH[raw[pos]]
+                if action == _A_PAD:
+                    pos += 1
+                    continue
+                if action == _A_TNT:
+                    if pos + 2 > size:  # truncated: stream ends
+                        break
+                    payload = raw[pos + 1]
+                    if TNT_WIDTH[payload] == 255:
+                        raise PacketError(
+                            f"invalid TNT payload {payload:#x}"
+                        )
+                    self._offset = self._base + pos
+                    self._payload = payload
+                    self._pos = pos + 2
+                    return _A_TNT
+                if action <= _A_FUP:
+                    if pos + 2 > size:
+                        break
+                    width = raw[pos + 1]
+                    if width > 8:
+                        raise PacketError(
+                            f"desynchronised at offset {pos}: "
+                            f"IP width {width} impossible"
+                        )
+                    end = pos + 2 + width
+                    if end > size:
+                        break
+                    if width == 0:
+                        self._ip = None
+                    else:
+                        mask = (1 << (8 * width)) - 1
+                        ip = (self._last_ip & ~mask) | int.from_bytes(
+                            raw[pos + 2:end], "little"
+                        )
+                        self._last_ip = ip
+                        self._ip = ip
+                    self._offset = self._base + pos
+                    self._pos = end
+                    return action
+                if action == _A_PSB and raw[pos:pos + 8] == PSB_PATTERN:
+                    self._last_ip = 0
+                    self._offset = self._base + pos
+                    self._pos = pos + 8
+                    return _A_PSB
+                if action == _A_PSBEND or action == _A_OVF:
+                    self._offset = self._base + pos
+                    self._pos = pos + 1
+                    return action
+                if PSB_PATTERN[: size - pos] == raw[pos:]:
+                    break  # trailing PSB prefix: clean truncation
+                raise PacketError(
+                    f"desynchronised at offset {pos}: "
+                    f"header {raw[pos]:#04x}"
+                )
+            # Part exhausted (or truncated): move to the next segment.
+            self._pos = size
+            if self._part + 1 >= len(self._parts):
+                return _END
+            self._part += 1
+            seg, base = self._parts[self._part]
+            data = seg.data
+            self._raw = data if isinstance(data, bytes) else bytes(data)
+            self._size = len(self._raw)
+            self._base = base
+            self._pos = seg.synced_offset if seg.sync else 0
+
+    def _skip_psb_group(self) -> None:
+        """Consume context packets up to and including PSBEND."""
+        while True:
+            action = self._advance()
+            if action == _END or action == _A_PSBEND:
+                return
+
+    def next_tnt_bit(self) -> Optional[bool]:
+        """Next conditional-branch outcome, or None at stream end."""
+        bits = self._bits
+        while not bits:
+            action = self._advance()
+            if action == _END:
+                return None
+            if action == _A_PSB:
+                self._skip_psb_group()
+                continue
+            if action == _A_TNT:
+                bits.extend(TNT_BITS_TABLE[self._payload])
+                continue
+            raise TraceMismatch(
+                f"expected TNT, found {_ACTION_KIND[action]} at "
+                f"offset {self._offset}"
+            )
+        return bits.pop(0)
+
+    def next_tip(self) -> Optional[int]:
+        """Next plain-TIP target, or None at stream end."""
+        if self._bits:
+            raise TraceMismatch("unconsumed TNT bits before a TIP")
+        while True:
+            action = self._advance()
+            if action == _END:
+                return None
+            if action == _A_PSB:
+                self._skip_psb_group()
+                continue
+            if action == _A_TIP:
+                return self._ip
+            raise TraceMismatch(
+                f"expected TIP, found {_ACTION_KIND[action]} at "
+                f"offset {self._offset}"
+            )
+
+    def next_far_resume(self, expected_src: int) -> Optional[int]:
+        """Consume a FUP/TIP.PGD/TIP.PGE group; return the resume IP."""
+        if self._bits:
+            raise TraceMismatch("unconsumed TNT bits before a far transfer")
+        while True:
+            action = self._advance()
+            if action == _END:
+                return None
+            if action == _A_PSB:
+                self._skip_psb_group()
+                continue
+            if action != _A_FUP:
+                raise TraceMismatch(
+                    f"expected FUP, found {_ACTION_KIND[action]}"
+                )
+            if self._ip != expected_src:
+                raise TraceMismatch(
+                    f"FUP {self._ip:#x} does not match far-transfer "
+                    f"source {expected_src:#x}"
+                )
+            break
+        action = self._advance()
+        if action == _END:
+            return None
+        if action != _A_PGD:
+            raise TraceMismatch(
+                f"expected TIP.PGD, found {_ACTION_KIND[action]}"
+            )
+        action = self._advance()
+        if action == _END:
+            return None
+        if action != _A_PGE:
+            raise TraceMismatch(
+                f"expected TIP.PGE, found {_ACTION_KIND[action]}"
+            )
+        return self._ip
+
+    def initial_ip(self) -> Optional[int]:
+        """Find the first PSB-context FUP or TIP.PGE to anchor decoding."""
+        while True:
+            action = self._advance()
+            if action == _END:
+                return None
+            if action == _A_PSB:
+                while True:
+                    ctx = self._advance()
+                    if ctx == _END:
+                        return None
+                    if ctx == _A_FUP and self._ip is not None:
+                        found = self._ip
+                        # Consume the rest of the group.
+                        while True:
+                            rest = self._advance()
+                            if rest == _END or rest == _A_PSBEND:
+                                break
+                        return found
+                    if ctx == _A_PSBEND:
+                        break
+            elif action == _A_PGE and self._ip is not None:
+                return self._ip
 
 
 # -- PSB-parallel decode (fleet threaded mode) -------------------------------

@@ -200,8 +200,15 @@ class FullDecoder:
 
         Decoding anchors at ``start_ip`` or at the first PSB-context
         FUP / TIP.PGE in the stream, and ends when packets run out.
+
+        ``packets`` is either a ``DecodedPacket`` list or any object
+        with a ``cursor()`` hook (``repro.ipt.columnar``'s
+        ``ColumnarSlowSource``) yielding a packet-cursor-compatible
+        walker — the degraded lane uses the latter to replay raw
+        segment bytes without materialising packet objects.
         """
-        cursor = _PacketCursor(packets)
+        own_cursor = getattr(packets, "cursor", None)
+        cursor = own_cursor() if own_cursor is not None else _PacketCursor(packets)
         ip = start_ip if start_ip is not None else cursor.initial_ip()
         edges: List[FlowEdge] = []
         insn_count = 0

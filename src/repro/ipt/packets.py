@@ -196,3 +196,25 @@ def compose_tnt_sigs(front: int, back: int) -> int:
     """
     width = back.bit_length() - 1
     return (front << width) | (back ^ (1 << width))
+
+
+def _build_tnt_bits_table() -> tuple:
+    """256-entry payload -> branch-bit tuple table (None = invalid).
+
+    The byte-level slow-path cursor and the vectorised columnar scan
+    decode TNT payloads by lookup instead of re-deriving the stop-marker
+    split per packet; entries are exactly what
+    :func:`decode_tnt_payload` returns.
+    """
+    table = []
+    for payload in range(256):
+        try:
+            table.append(decode_tnt_payload(payload))
+        except PacketError:
+            table.append(None)
+    return tuple(table)
+
+
+#: payload byte -> TNT bit tuple (oldest first), ``None`` for invalid
+#: payloads.
+TNT_BITS_TABLE = _build_tnt_bits_table()

@@ -99,6 +99,10 @@ class FlowSearchIndex:
                 self._hot_sigs[(src, dst)] = {
                     pack_tnt_sig(pattern) for pattern in label.tnt_patterns
                 }
+        #: packed signature -> unpacked tuple, shared across
+        #: ``check_batch`` calls (pure function of the sig; bounded
+        #: because real traces repeat a small set of TNT runs).
+        self._sig_tuples: Dict[int, Tuple[bool, ...]] = {}
         self.cycles = 0.0
 
     # -- maintenance ---------------------------------------------------------
@@ -249,7 +253,7 @@ class FlowSearchIndex:
             if tel.enabled:
                 hit_counter = tel.metrics.counter("itccfg.edge_cache.hits")
                 miss_counter = tel.metrics.counter("itccfg.edge_cache.misses")
-        sig_tuples: Dict[int, Tuple[bool, ...]] = {}
+        sig_tuples = self._sig_tuples
         checked = 0
         for index in range(1, len(ips)):
             src = ips[index - 1]

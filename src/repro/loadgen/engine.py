@@ -171,10 +171,19 @@ def build_load_service(
             tracker.track_closed(proc, flags)
         else:
             # Staggered deterministic arrival schedule: connection i's
-            # k-th request lands at (k+1)·interarrival + i's phase.
+            # k-th request lands at (k//burst + 1)·interarrival·burst
+            # + i's phase — bursts of ``burst`` back-to-back arrivals
+            # at the same average rate; burst=1 is the classic
+            # evenly-spaced (k+1)·interarrival schedule.
+            burst = scenario.burst
             phase = index * scenario.interarrival / max(connections, 1)
             schedule = [
-                ((k + 1) * scenario.interarrival + phase, payload, False)
+                (
+                    (k // burst + 1) * scenario.interarrival * burst
+                    + phase,
+                    payload,
+                    False,
+                )
                 for k, payload in enumerate(payloads)
             ]
             if inject:

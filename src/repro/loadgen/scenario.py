@@ -49,6 +49,11 @@ class LoadScenario:
     #: open loop only: cycles between consecutive arrivals on one
     #: connection's schedule.
     interarrival: float = 60_000.0
+    #: open loop only: arrivals land in back-to-back clusters of this
+    #: size, ``burst * interarrival`` apart — the same average offered
+    #: load as ``burst=1``, but clumped (queueing pressure at the same
+    #: rate).  1 = the classic evenly-spaced schedule.
+    burst: int = 1
     #: attack injection: kind (``rop`` or None) and how many
     #: connections get one mid-stream exploit request each.
     attack_kind: Optional[str] = None
@@ -102,6 +107,8 @@ class LoadScenario:
             raise ValueError("sessions must be >= 1")
         if self.interarrival <= 0:
             raise ValueError("interarrival must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
         if self.slo_latency <= 0:
             raise ValueError("slo_latency must be positive")
         RingPolicy(self.ring_policy)  # raises on unknown value
@@ -206,6 +213,23 @@ def _faulted_closed() -> LoadScenario:
     )
 
 
+def _bursty_open() -> LoadScenario:
+    """Bursty open-loop arrivals against a vsftpd+openssh mix: requests
+    land in back-to-back clusters of three, same average rate as the
+    evenly-spaced schedule — measures how the fleet absorbs clumped
+    offered load without dropping the SLO."""
+    return LoadScenario(
+        name="bursty-open",
+        mode="open",
+        servers=("vsftpd", "openssh"),
+        sessions=3,
+        interarrival=60_000.0,
+        burst=3,
+        connections_upper_bound=6,
+        slo_latency=200_000.0,
+    )
+
+
 def _smoke() -> LoadScenario:
     """Tiny CI scenario: seconds, not minutes."""
     return LoadScenario(
@@ -219,6 +243,7 @@ def _smoke() -> LoadScenario:
 BUILTIN_SCENARIOS: Dict[str, Callable[[], LoadScenario]] = {
     "nginx-closed": _nginx_closed,
     "mixed-open": _mixed_open,
+    "bursty-open": _bursty_open,
     "faulted-closed": _faulted_closed,
     "smoke": _smoke,
 }

@@ -81,6 +81,21 @@ class FastPathResult:
                 begin = index
         return self.packets[begin:]
 
+    def slow_path_source(self):
+        """Slow-path input for the configured lane.
+
+        On the columnar engine this returns a
+        :class:`~repro.ipt.columnar.ColumnarSlowSource` — the same
+        PSB-trim as :meth:`slow_path_packets` but as raw segment bytes,
+        so the degraded lane never materialises ``DecodedPacket``
+        objects.  On the objects engine (or a pre-columnar ``packets``
+        list) it falls back to the packet list.
+        """
+        slow = getattr(self.packets, "slow_source", None)
+        if slow is None:
+            return self.slow_path_packets()
+        return slow(self.window[0].offset if self.window else None)
+
 
 class FastPathChecker:
     """Stateless checking logic over a search index."""
@@ -246,8 +261,14 @@ class FastPathChecker:
             cycles += seg_cycles
             tail.prepend(seg, offsets[index])
             start = offsets[index]
-            if tail.count > self.pkt_count and self._spans_modules_ips(
-                tail.last_ips(self.pkt_count + 1)
+            if tail.count > self.pkt_count and (
+                # Evaluate the flags before materialising the ip
+                # window — _spans_modules_ips would ignore it anyway
+                # when neither module requirement is armed.
+                not (self.require_cross_module or self.require_executable)
+                or self._spans_modules_ips(
+                    tail.last_ips(self.pkt_count + 1)
+                )
             ):
                 break
         tail.cycles = cycles

@@ -26,6 +26,7 @@ from repro.analysis.cfg import ControlFlowGraph
 from repro.ipt.encoder import IPTEncoder
 from repro.ipt.msr import IPTConfig
 from repro.ipt.topa import ToPA
+from repro.ipt.columnar import set_scan_kernel
 from repro.ipt.segment_cache import SegmentDecodeCache
 from repro.itccfg.credits import CreditLabeledITC
 from repro.itccfg.searchindex import FlowSearchIndex
@@ -118,6 +119,11 @@ class FlowGuardMonitor:
     ) -> None:
         self.kernel = kernel
         self.policy = policy if policy is not None else FlowGuardPolicy()
+        # "auto" inherits the process/env scan-kernel setting (so a CI
+        # run forcing REPRO_SCAN_KERNEL is not stomped); "on"/"off"
+        # pin it for this process.
+        if self.policy.scan_kernel != "auto":
+            set_scan_kernel(self.policy.scan_kernel)
         self._telemetry = get_telemetry()
         #: deterministic fault plane (None = fault-free, bit-identical
         #: to a monitor built without the resilience layer).
@@ -411,6 +417,29 @@ class FlowGuardMonitor:
         and mark the whole window SUSPICIOUS so the slow path (which
         shares no state with the fast checker) delivers the verdict."""
         checker = pp.checker
+        if checker.engine == "columnar":
+            # Engine-native: materialise only the checked window, keep
+            # the packet hand-off lazy (the slow path's columnar lane
+            # never forces it).
+            tail = checker.decode_tail_columnar(data)
+            packets = tail.lazy_packets()
+            if tail.count < 2:
+                return FastPathResult(
+                    Verdict.INSUFFICIENT,
+                    decode_cycles=tail.cycles,
+                    window=tail.records(),
+                    window_offset=tail.start,
+                    packets=packets,
+                    corrupt_segments=checker.last_corrupt_segments,
+                )
+            return FastPathResult(
+                Verdict.SUSPICIOUS,
+                decode_cycles=tail.cycles,
+                window=tail.window(checker.pkt_count + 1)[0],
+                window_offset=tail.start,
+                packets=packets,
+                corrupt_segments=checker.last_corrupt_segments,
+            )
         records, packets, cycles, start = checker.decode_tail(data)
         if len(records) < 2:
             return FastPathResult(
@@ -441,9 +470,12 @@ class FlowGuardMonitor:
         try:
             if inj is not None and inj.fire("slowpath_error"):
                 raise InjectedFault("injected slow-path decode error")
-            slow_result = pp.slow.check(
-                result.slow_path_packets(), window=result.window
+            source = (
+                result.slow_path_packets()
+                if self.policy.slow_lane == "objects"
+                else result.slow_path_source()
             )
+            slow_result = pp.slow.check(source, window=result.window)
         except InjectedFault:
             # The engine died after the upcall: charge the upcall, audit
             # the downgrade, and fail open for this window — violations

@@ -57,7 +57,14 @@ class SlowPathEngine:
         window: Optional[List[TipRecord]] = None,
     ) -> SlowPathResult:
         """Verify a packet window; ``window`` lists the fast-path TIP
-        records for promotion bookkeeping."""
+        records for promotion bookkeeping.
+
+        ``packets`` is either a ``DecodedPacket`` list or a columnar
+        slow source (``FastPathResult.slow_path_source``) — the full
+        decoder walks either through the same cursor protocol, with
+        identical cycles and verdicts; the columnar lane just skips
+        packet-object materialisation.
+        """
         cycles = costs.SLOWPATH_UPCALL_CYCLES
         try:
             decoded = self._decoder.decode(packets)

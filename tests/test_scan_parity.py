@@ -1,0 +1,514 @@
+"""Scanner tri-parity, byte-cursor parity, and the perf-PR plumbing.
+
+The vectorised scan rewrite keeps three scanners alive: the per-byte
+dispatch walk (``columnar_scan_reference``, the oracle), the
+regex/translate vectorised pure-Python scan, and the optional ctypes C
+kernel.  This suite property-tests that all three are column-identical
+— every column, every charged cycle, every ``PacketError`` message —
+on structured streams, uniform-random buffers, every truncation cut,
+and random corruption flips.  It also pins the columnar-native
+degraded lane (``_ByteCursor`` vs the object engine's
+``_PacketCursor``, including ``TraceMismatch`` messages), the
+scan-kernel / slow-lane policy knobs, the bursty open-loop schedule,
+``repro bench --engine``, and the append-only performance trajectory.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.ipt import columnar, scan_kernel
+from repro.ipt.columnar import (
+    ColumnarSlowSource,
+    columnar_scan,
+    columnar_scan_reference,
+    scan_kernel_active,
+    scan_kernel_mode,
+    set_scan_kernel,
+)
+from repro.ipt.fast_decoder import fast_decode
+from repro.ipt.full_decoder import TraceMismatch, _PacketCursor
+from repro.ipt.packets import PacketError
+from repro.monitor import FlowGuardPolicy
+from repro.monitor.policy import SCAN_KERNEL_MODES, SLOW_LANES
+from tests.test_columnar import build_stream
+
+KERNEL_AVAILABLE = columnar._KERNEL_ABI_OK and scan_kernel.load() is not None
+
+needs_kernel = pytest.mark.skipif(
+    not KERNEL_AVAILABLE, reason="C scan kernel not buildable here"
+)
+
+
+@pytest.fixture
+def kernel_mode_guard():
+    """Restore the process-wide scan-kernel mode after the test."""
+    previous = scan_kernel_mode()
+    yield
+    set_scan_kernel(previous)
+
+
+# -- scanner tri-parity -------------------------------------------------------
+
+
+def segment_columns(seg):
+    """Every column and scalar a ColumnarSegment carries, normalised
+    (the kernel path stores ``array`` columns, the Python paths lists —
+    parity is on values, not container types)."""
+    return (
+        seg.pkt_count,
+        seg.cycles,
+        seg.truncated,
+        seg.synced_offset,
+        tuple(seg.rec_ips),
+        tuple(seg.rec_offsets),
+        tuple(seg.rec_bit_start),
+        tuple(seg.rec_bit_end),
+        bytes(seg.tnt_bits),
+        seg.total_bits,
+        seg.pend_start,
+        seg.trailing_far,
+        seg.far_mask,
+        tuple(seg.fup_ips),
+    )
+
+
+def scan_outcomes(data, sync=False):
+    """(columns-or-None, error-string-or-None) from all live scanners."""
+    outcomes = {}
+    scanners = {
+        "reference": lambda: columnar_scan_reference(data, sync=sync),
+        "python": lambda: columnar._scan_python(data, sync, True),
+    }
+    if KERNEL_AVAILABLE:
+        lib = scan_kernel.load()
+        scanners["kernel"] = lambda: columnar._scan_kernel_segment(
+            lib, data, sync, True
+        )
+    for name, scan in scanners.items():
+        try:
+            outcomes[name] = (segment_columns(scan()), None)
+        except PacketError as exc:
+            outcomes[name] = (None, str(exc))
+    return outcomes
+
+
+def assert_tri_parity(data, sync=False):
+    outcomes = scan_outcomes(data, sync=sync)
+    baseline = outcomes.pop("reference")
+    for name, outcome in outcomes.items():
+        assert outcome == baseline, (
+            f"{name} diverges from reference on {data[:40].hex()}..."
+        )
+
+
+class TestScannerTriParity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_structured_streams(self, seed):
+        assert_tri_parity(build_stream(seed, packets=200))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_uniform_random_buffers(self, seed):
+        rng = random.Random(1000 + seed)
+        assert_tri_parity(rng.randbytes(rng.randint(1, 600)))
+        assert_tri_parity(rng.randbytes(rng.randint(1, 600)), sync=True)
+
+    def test_every_truncation_cut(self):
+        data = build_stream(7, packets=60)
+        for cut in range(len(data) + 1):
+            assert_tri_parity(data[:cut])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_corruption_flips(self, seed):
+        rng = random.Random(2000 + seed)
+        data = bytearray(build_stream(seed, packets=120))
+        for _ in range(6):
+            data[rng.randrange(len(data))] = rng.randrange(256)
+        assert_tri_parity(bytes(data))
+        assert_tri_parity(bytes(data), sync=True)
+
+    def test_pad_and_tnt_run_batching_edges(self):
+        # Maximal PAD runs and long TNT runs are the vectorised scan's
+        # bulk paths; hit the run boundaries explicitly.
+        tnt_run = b"\x02\x7f" * 400      # 2400 TNT bits, many flushes
+        cases = [
+            b"",
+            b"\x00" * 1024,
+            tnt_run,
+            b"\x00" * 257 + tnt_run + b"\x00" * 3,
+            tnt_run + b"\x02",           # truncated TNT after a run
+            tnt_run + b"\x02\x01",       # invalid payload after a run
+            b"\x02\x00",                 # invalid payload (0)
+            b"\x02\x01",                 # invalid payload (1)
+            b"\x02\x80",                 # invalid payload (>0x7f)
+            b"\x00\x02",                 # truncated TNT after PAD
+        ]
+        for data in cases:
+            assert_tri_parity(data)
+
+    def test_sync_prefix_and_clean_truncation(self):
+        stream = build_stream(3, packets=50)
+        garbage = b"\xde\xad\xbe\xef" * 9
+        assert_tri_parity(garbage + stream, sync=True)
+        # A trailing PSB prefix is a clean truncation, not an error.
+        from repro.ipt.packets import PSB_PATTERN
+        for cut in range(1, len(PSB_PATTERN)):
+            assert_tri_parity(stream + PSB_PATTERN[:cut])
+
+    def test_dispatcher_matches_forced_lanes(self, kernel_mode_guard):
+        """columnar_scan under each mode equals the reference."""
+        data = build_stream(11, packets=150)
+        want = segment_columns(columnar_scan_reference(data))
+        set_scan_kernel("off")
+        assert not scan_kernel_active()
+        assert segment_columns(columnar_scan(data)) == want
+        if KERNEL_AVAILABLE:
+            set_scan_kernel("on")
+            assert scan_kernel_active()
+            assert segment_columns(columnar_scan(data)) == want
+
+
+class TestKernelGating:
+    def test_mode_roundtrip(self, kernel_mode_guard):
+        previous = set_scan_kernel("off")
+        assert previous in SCAN_KERNEL_MODES
+        assert scan_kernel_mode() == "off"
+        assert set_scan_kernel(previous) == "off"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown scan-kernel mode"):
+            set_scan_kernel("simd")
+
+    def test_forced_on_unavailable_raises(
+        self, kernel_mode_guard, monkeypatch
+    ):
+        monkeypatch.setattr(scan_kernel, "load", lambda: None)
+        monkeypatch.setattr(
+            scan_kernel, "build_error", lambda: "no compiler"
+        )
+        set_scan_kernel("on")
+        with pytest.raises(RuntimeError, match="forced on but unavailable"):
+            columnar_scan(build_stream(1, packets=10))
+
+    def test_off_mode_never_builds(self, kernel_mode_guard, monkeypatch):
+        def boom():
+            raise AssertionError("kernel loaded despite mode=off")
+
+        monkeypatch.setattr(scan_kernel, "load", boom)
+        set_scan_kernel("off")
+        columnar_scan(build_stream(1, packets=10))
+
+
+# -- degraded-lane byte cursor vs object cursor -------------------------------
+
+
+def drive_cursor(cursor, ops):
+    """Run an op script against a cursor, recording every result and
+    the first TraceMismatch (message text included — the contract)."""
+    out = []
+    for op, arg in ops:
+        try:
+            if op == "tnt":
+                out.append(("tnt", cursor.next_tnt_bit()))
+            elif op == "tip":
+                out.append(("tip", cursor.next_tip()))
+            elif op == "far":
+                out.append(("far", cursor.next_far_resume(arg)))
+            else:
+                out.append(("initial", cursor.initial_ip()))
+        except TraceMismatch as exc:
+            out.append(("mismatch", str(exc)))
+            break
+    return out
+
+
+def cursor_pair(streams):
+    """(byte cursor, packet cursor) over the same multi-part tail."""
+    parts, packets, base = [], [], 0
+    for stream in streams:
+        seg = columnar._scan_python(stream, False, True)
+        parts.append((seg, base))
+        for pkt in fast_decode(stream).packets:
+            packets.append(
+                dataclasses.replace(pkt, offset=base + pkt.offset)
+            )
+        base += len(stream)
+    return ColumnarSlowSource(parts).cursor(), _PacketCursor(packets)
+
+
+def op_script(rng, length=120):
+    ops = [("initial", None)] if rng.random() < 0.5 else []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.55:
+            ops.append(("tnt", None))
+        elif roll < 0.9:
+            ops.append(("tip", None))
+        else:
+            # Usually a wrong source — both cursors must produce the
+            # same FUP-mismatch (or expected-FUP) message.
+            ops.append(("far", rng.choice((0x400010, 0x12345))))
+    return ops
+
+
+class TestByteCursorParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_part_scripts(self, seed):
+        rng = random.Random(seed)
+        byte_cur, pkt_cur = cursor_pair([build_stream(seed, packets=80)])
+        script = op_script(rng)
+        assert drive_cursor(byte_cur, script) == drive_cursor(
+            pkt_cur, script
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_multi_part_scripts(self, seed):
+        rng = random.Random(100 + seed)
+        streams = [
+            build_stream(3 * seed + i, packets=40) for i in range(3)
+        ]
+        byte_cur, pkt_cur = cursor_pair(streams)
+        script = op_script(rng, length=200)
+        assert drive_cursor(byte_cur, script) == drive_cursor(
+            pkt_cur, script
+        )
+
+    def test_exhaustion_returns_none(self):
+        byte_cur, pkt_cur = cursor_pair([build_stream(5, packets=10)])
+        script = [("tip", None)] * 50
+        got = drive_cursor(byte_cur, script)
+        assert got == drive_cursor(pkt_cur, script)
+        assert got[-1] in (("tip", None), got[-1])
+
+    def test_unconsumed_tnt_before_tip_message(self):
+        from repro.ipt.packets import encode_ip_packet, encode_tnt
+        from repro.ipt.packets import TIP_HEADER
+
+        stream = bytearray(encode_tnt((True, False, True)))
+        encoded, _ = encode_ip_packet(TIP_HEADER, 0x400000, 0)
+        stream += encoded
+        byte_cur, pkt_cur = cursor_pair([bytes(stream)])
+        script = [("tnt", None), ("tip", None)]
+        got = drive_cursor(byte_cur, script)
+        assert got == drive_cursor(pkt_cur, script)
+        assert got[-1][0] == "mismatch"
+        assert "unconsumed TNT bits" in got[-1][1]
+
+
+# -- policy knobs -------------------------------------------------------------
+
+
+class TestPolicyKnobs:
+    def test_defaults(self):
+        policy = FlowGuardPolicy()
+        assert policy.scan_kernel == "auto"
+        assert policy.slow_lane == "columnar"
+
+    @pytest.mark.parametrize("mode", SCAN_KERNEL_MODES)
+    def test_scan_kernel_values(self, mode):
+        assert FlowGuardPolicy(scan_kernel=mode).scan_kernel == mode
+
+    @pytest.mark.parametrize("lane", SLOW_LANES)
+    def test_slow_lane_values(self, lane):
+        assert FlowGuardPolicy(slow_lane=lane).slow_lane == lane
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="scan_kernel"):
+            FlowGuardPolicy(scan_kernel="maybe")
+        with pytest.raises(ValueError, match="slow_lane"):
+            FlowGuardPolicy(slow_lane="turbo")
+
+    def test_with_endpoints_carries_knobs(self):
+        policy = FlowGuardPolicy(scan_kernel="off", slow_lane="objects")
+        clone = policy.with_endpoints(0x400010)
+        assert clone.scan_kernel == "off"
+        assert clone.slow_lane == "objects"
+
+    def test_fleet_config_knobs(self):
+        from repro.fleet import FleetConfig
+
+        config = FleetConfig(scan_kernel="off", slow_lane="objects")
+        assert config.scan_kernel == "off"
+        assert config.slow_lane == "objects"
+
+
+# -- bursty open-loop schedule ------------------------------------------------
+
+
+class TestBurstySchedule:
+    def test_builtin_scenario_registered(self):
+        from repro.loadgen import builtin_scenario
+
+        scenario = builtin_scenario("bursty-open")
+        assert scenario.mode == "open"
+        assert scenario.burst == 3
+        assert set(scenario.servers) == {"vsftpd", "openssh"}
+
+    def test_burst_validation(self):
+        from repro.loadgen import builtin_scenario
+        from dataclasses import replace
+
+        scenario = replace(builtin_scenario("bursty-open"), burst=0)
+        with pytest.raises(ValueError, match="burst"):
+            scenario.validate()
+
+    def test_burst_one_matches_legacy_schedule(self):
+        # burst=1 must reduce to the classic (k+1)*interarrival law the
+        # existing open scenarios were digested under.
+        interarrival = 60_000.0
+        for burst in (1, 3, 5):
+            times = [
+                (k // burst + 1) * interarrival * burst
+                for k in range(12)
+            ]
+            if burst == 1:
+                assert times == [
+                    (k + 1) * interarrival for k in range(12)
+                ]
+            # Same average rate: the last arrival of N requests lands
+            # no later than ceil(N/burst) full burst periods.
+            assert times[-1] == ((11 // burst) + 1) * interarrival * burst
+            # Arrivals clump in groups of `burst` at identical times.
+            for k in range(0, 12 - burst, burst):
+                assert len(set(times[k:k + burst])) == 1
+
+    def test_bursty_point_is_deterministic(self):
+        from dataclasses import replace
+
+        from repro.loadgen import builtin_scenario
+        from repro.loadgen.engine import run_load_point
+
+        scenario = replace(
+            builtin_scenario("bursty-open"),
+            sessions=2, connections_upper_bound=2, workers=1,
+        )
+        a = run_load_point(scenario, 2)
+        b = run_load_point(scenario, 2)
+        assert a.digest == b.digest
+        assert a.completed == a.offered
+
+
+# -- repro bench --engine -----------------------------------------------------
+
+
+class TestBenchEngineFlag:
+    def test_parser_accepts_engines(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["bench", "--scenario", "smoke", "--engine", "objects"]
+        )
+        assert args.engine == "objects"
+        # Default is None: "use whatever the scenario file says".
+        assert parser.parse_args(
+            ["bench", "--scenario", "smoke"]
+        ).engine is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["bench", "--scenario", "smoke", "--engine", "simd"]
+            )
+
+
+# -- performance trajectory ---------------------------------------------------
+
+
+class TestTrajectory:
+    def _loadgen_payload(self, knee=80.0, green=True):
+        return {
+            "quick": False,
+            "scenario": {"name": "nginx-closed"},
+            "knee": {"connections": 3, "throughput": knee},
+            "search": {
+                "best_connections": 3,
+                "max_throughput": knee,
+                "probes": 3,
+                "slo_latency": 60_000.0,
+                "slo_percentile": 99.0,
+            },
+            "gates": {"a": green, "b": True},
+        }
+
+    def test_seeded_baseline(self):
+        from repro.experiments import trajectory
+
+        doc = trajectory.new_trajectory()
+        assert doc["entries"][0]["label"] == "pr7"
+        assert doc["entries"][0]["knee_throughput"] >= (
+            trajectory.KNEE_FLOOR
+        )
+
+    def test_append_only(self):
+        from repro.experiments import trajectory
+
+        doc = trajectory.new_trajectory()
+        before = json.dumps(doc["entries"][0], sort_keys=True)
+        entry = trajectory.entry_from_loadgen(
+            self._loadgen_payload(), "pr8"
+        )
+        doc2 = trajectory.append_entry(doc, entry)
+        assert [e["label"] for e in doc2["entries"]] == ["pr7", "pr8"]
+        # The prior entry survives byte-for-byte.
+        assert json.dumps(
+            doc2["entries"][0], sort_keys=True
+        ) == before
+
+    def test_same_label_replaces_in_place(self):
+        from repro.experiments import trajectory
+
+        doc = trajectory.new_trajectory()
+        doc = trajectory.append_entry(
+            doc, trajectory.entry_from_loadgen(
+                self._loadgen_payload(knee=80.0), "pr8"
+            ),
+        )
+        doc = trajectory.append_entry(
+            doc, trajectory.entry_from_loadgen(
+                self._loadgen_payload(knee=81.0), "pr8"
+            ),
+        )
+        assert [e["label"] for e in doc["entries"]] == ["pr7", "pr8"]
+        assert doc["entries"][1]["knee_throughput"] == 81.0
+
+    def test_gates(self):
+        from repro.experiments import trajectory
+
+        doc = trajectory.new_trajectory()
+        assert trajectory.gates_passed(doc) == []
+        # A regressing full-run entry fails the no-regression gate.
+        bad = trajectory.entry_from_loadgen(
+            self._loadgen_payload(knee=10.0), "pr9"
+        )
+        failing = trajectory.append_entry(doc, bad)
+        failed = trajectory.gates_passed(failing)
+        assert "knee_at_or_above_floor" in failed
+        assert "no_regression_vs_first" in failed
+        # A red loadgen run is recorded but flagged.
+        red = trajectory.entry_from_loadgen(
+            self._loadgen_payload(green=False), "pr9"
+        )
+        assert "all_entries_green" in trajectory.gates_passed(
+            trajectory.append_entry(doc, red)
+        )
+
+    def test_record_roundtrip(self, tmp_path):
+        from repro.experiments import trajectory
+
+        loadgen_path = tmp_path / "loadgen.json"
+        loadgen_path.write_text(json.dumps(self._loadgen_payload()))
+        out = tmp_path / "traj.json"
+        doc = trajectory.record(str(loadgen_path), str(out), "pr8")
+        assert [e["label"] for e in doc["entries"]] == ["pr7", "pr8"]
+        reloaded = trajectory.load_trajectory(str(out))
+        assert reloaded == doc
+        assert "Performance trajectory" in trajectory.format_table(doc)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        from repro.experiments import trajectory
+
+        bad = tmp_path / "other.json"
+        bad.write_text(json.dumps({"kind": "loadgen-bench"}))
+        with pytest.raises(ValueError, match="not a loadgen-trajectory"):
+            trajectory.load_trajectory(str(bad))
