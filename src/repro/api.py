@@ -29,6 +29,12 @@ submodule home::
     scenario = resolve_scenario("nginx-closed")
     payload = run_bench(scenario)       # `repro report` renders this
 
+    # Multi-tenant serving: isolated fault domains behind one
+    # admission-controlled asyncio front-end.
+    config = resolve_serve_config("duo-isolation")
+    result = run_service(config)
+    print(result.tenants["clean"]["digest"])
+
 Importing names from the ``repro.monitor`` / ``repro.fleet`` package
 roots still works but is deprecated (each access emits a
 ``DeprecationWarning``); deep submodule imports remain supported for
@@ -63,6 +69,14 @@ from repro.resilience import (
     InjectedFault,
     RetryPolicy,
 )
+from repro.service import (
+    ServeConfig,
+    ServiceResult,
+    TenantSpec,
+    TraceCheckService,
+    resolve_serve_config,
+    run_service,
+)
 from repro.stats_report import SCHEMA_VERSION, StatsReport
 from repro.telemetry.plane import (
     ObservabilityPlane,
@@ -92,10 +106,16 @@ __all__ = [
     "SCHEMA_VERSION",
     "SLOConfig",
     "SLObjective",
+    "ServeConfig",
+    "ServiceResult",
     "StatsReport",
+    "TenantSpec",
+    "TraceCheckService",
     "Verdict",
     "resolve_scenario",
+    "resolve_serve_config",
     "run_bench",
+    "run_service",
     "run_workload",
     "slo_search",
     "sweep_connections",

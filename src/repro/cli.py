@@ -638,17 +638,92 @@ def _format_top_frame(service, plane, sample: dict) -> str:
             )
         if lat_bits:
             lines.append("  latency: " + "  ".join(lat_bits))
+    lines.extend(_tenant_lines(sample))
+    lines.extend(_slo_flight_lines(plane))
+    return "\n".join(lines)
+
+
+def _tenant_lines(sample: dict) -> List[str]:
+    """Per-tenant serving rows, present whenever tenant-labelled
+    series exist in the sample (the multi-tenant front-end labels
+    everything it emits with the tenant's fault-domain tag)."""
+    from repro.telemetry.plane import _series_base, _series_label
+
+    counters = sample.get("counters", {})
+    tenants = sorted({
+        tenant
+        for series in counters
+        if (tenant := _series_label(series, "tenant"))
+    })
+    if not tenants:
+        return []
+
+    def total(name: str, tenant: str) -> float:
+        return sum(
+            value for series, value in counters.items()
+            if _series_base(series) == name
+            and _series_label(series, "tenant") == tenant
+        )
+
+    lines = [
+        f"  {'tenant':<10} {'offered':>7} {'done':>6} {'shed':>5} "
+        f"{'rounds':>6} {'throttle cyc':>12} {'degraded':>8}"
+    ]
+    for tenant in tenants:
+        lines.append(
+            f"  {tenant:<10} "
+            f"{total('loadgen.offered', tenant):>7.0f} "
+            f"{total('loadgen.completed', tenant):>6.0f} "
+            f"{total('service.shed', tenant):>5.0f} "
+            f"{total('service.rounds', tenant):>6.0f} "
+            f"{total('service.throttle_cycles', tenant):>12,.0f} "
+            f"{total('resilience.events', tenant):>8.0f}"
+        )
+    return lines
+
+
+def _slo_flight_lines(plane) -> List[str]:
+    """The SLO-burn and flight-tail frame footer ``top`` renders."""
     slo = plane.engine.evaluate(plane.sampler.samples)
-    lines.append("  slo:     " + "  ".join(
+    lines = ["  slo:     " + "  ".join(
         f"{o['name']}={'ok' if o['met'] else 'MISS'}"
         f"[burn {o['budget_burn']:.2f}]"
         for o in slo["objectives"]
-    ))
+    )]
     for event in list(plane.flight.events)[-3:]:
         lines.append(
             f"  flight:  #{event['seq']} t={event['t']:,.0f} "
             f"{event['kind']} pid={event['pid']} {event['detail']}"
         )
+    return lines
+
+
+def _format_service_frame(service, plane, sample: dict) -> str:
+    """One ``repro top --serve-config`` frame: every tenant's live
+    state — clock, rounds, checks, quarantines, quota — plus the
+    tenant counter rows and the usual SLO/flight footer."""
+    now = sample["t"]
+    lines = [
+        f"repro top — service {service.config.name}   "
+        f"t={now:,.0f} cycles   sample #{sample['seq']}"
+    ]
+    lines.append(
+        f"  {'tenant':<10} {'clock':>12} {'rounds':>6} {'checks':>6} "
+        f"{'quar':>4} {'shed':>5} {'throttles':>9} {'reloads':>7}"
+    )
+    for rt in service.runtimes:
+        ledger = rt.fleet.monitor.degradations
+        lines.append(
+            f"  {rt.name:<10} {rt.clock.now:>12,.0f} "
+            f"{rt.fleet.scheduler.rounds:>6} "
+            f"{len(rt.fleet.dispatcher.tasks):>6} "
+            f"{len(rt.fleet.dispatcher.quarantines):>4} "
+            f"{ledger.count('shed-load'):>5} "
+            f"{rt.bucket.throttles:>9} "
+            f"{len(rt.registry.versions):>7}"
+        )
+    lines.extend(_tenant_lines(sample))
+    lines.extend(_slo_flight_lines(plane))
     return "\n".join(lines)
 
 
@@ -662,6 +737,8 @@ def _cmd_top(args: argparse.Namespace) -> int:
     slo = SLOConfig.load(args.slo) if args.slo else None
     plane = ObservabilityPlane(interval=args.sample_interval, slo=slo)
     tel.attach_plane(plane)
+    if args.serve_config:
+        return _top_service(args, tel, plane)
     try:
         if args.scenario:
             from repro.loadgen import build_load_service, resolve_scenario
@@ -719,6 +796,160 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print(f"injected attack on pid(s) "
               f"{', '.join(map(str, missed))} was not quarantined",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _top_service(args: argparse.Namespace, tel, plane) -> int:
+    """``repro top --serve-config``: the live multi-tenant view."""
+    import asyncio
+
+    from repro.service import TraceCheckService, resolve_serve_config
+
+    config = resolve_serve_config(args.serve_config)
+    try:
+        service = TraceCheckService(config, plane=plane)
+        if not args.once:
+            clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+
+            def render(sample: dict, _every=max(1, args.refresh)) -> None:
+                if sample["seq"] % _every == 0:
+                    print(clear
+                          + _format_service_frame(service, plane, sample))
+                    if not clear:
+                        print()
+
+            plane.sampler.on_sample.append(render)
+        result = asyncio.run(service.serve())
+        plane.finalize(service.now)
+        plane_audit = plane.reconcile(
+            [stats
+             for rt in service.runtimes
+             for stats in rt.fleet.monitor.all_stats()],
+            [rt.fleet.monitor.degradations for rt in service.runtimes],
+        )
+        print(_format_service_frame(
+            service, plane, plane.sampler.samples[-1]
+        ))
+        if args.plane_out:
+            plane.export(args.plane_out)
+            print(f"[plane dump -> {args.plane_out}]", file=sys.stderr)
+    finally:
+        tel.detach_plane()
+        tel.disable()
+
+    inexact = [
+        name for name, report in result.tenants.items()
+        if not (report["accounting_exact"] and report["ledger_exact"])
+    ]
+    if inexact:
+        print(f"tenant ledger(s) do NOT reconcile: "
+              f"{', '.join(inexact)}", file=sys.stderr)
+        return 1
+    if not plane_audit["exact"]:
+        print("observability plane does NOT reconcile", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    """Multi-tenant serving front-end: per-tenant fault domains,
+    quotas, hot reload, and streamed verdicts."""
+    from repro import telemetry
+    from repro.experiments.common import format_rows
+    from repro.service import resolve_serve_config
+
+    config = resolve_serve_config(args.config)
+    tel = telemetry.get_telemetry()
+    plane = None
+    wants_plane = args.plane or args.slo or args.plane_out
+    tel.reset()
+    if wants_plane:
+        from repro.telemetry.plane import ObservabilityPlane, SLOConfig
+
+        slo = SLOConfig.load(args.slo) if args.slo else None
+        plane = ObservabilityPlane(
+            interval=args.sample_interval, slo=slo
+        )
+        tel.attach_plane(plane)
+    elif args.telemetry:
+        tel.enable()
+
+    on_event = None
+    if args.stream:
+        def on_event(event: dict) -> None:
+            kind = event["type"]
+            if kind == "verdict":
+                print(f"event {event['tenant']}: task {event['task_id']} "
+                      f"pid={event['pid']} {event['kind']} -> "
+                      f"{event['verdict']} @ {event['at']:,.0f}")
+            else:
+                print(f"event {event['tenant']}: {kind} "
+                      f"@ {event['at']:,.0f}")
+
+    plane_audit = None
+    try:
+        import asyncio
+
+        from repro.service import TraceCheckService
+
+        service = TraceCheckService(config, plane=plane)
+        result = asyncio.run(service.serve(on_event=on_event))
+        if plane is not None:
+            plane.finalize(service.now)
+            plane_audit = plane.reconcile(
+                [stats
+                 for rt in service.runtimes
+                 for stats in rt.fleet.monitor.all_stats()],
+                [rt.fleet.monitor.degradations
+                 for rt in service.runtimes],
+            )
+            if args.plane_out:
+                plane.export(args.plane_out)
+                print(f"[plane dump -> {args.plane_out}]",
+                      file=sys.stderr)
+    finally:
+        if plane is not None:
+            tel.detach_plane()
+        tel.disable()
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[service payload -> {args.out}]", file=sys.stderr)
+    if args.json:
+        json.dump(result.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(f"service {config.name}: {len(config.tenants)} tenant(s), "
+              f"makespan {result.makespan:,.0f} cycles"
+              f"{'  [drained]' if result.drained else ''}")
+        print(format_rows(
+            ["tenant", "scenario", "offered", "done", "shed", "quar",
+             "p99", "throttles", "reloads", "burn", "exact"],
+            [
+                [name, t["scenario"], t["offered"], t["completed"],
+                 t["shed"], t["quarantines"],
+                 f"{t['latency'].get('p99', 0.0):.0f}",
+                 t["quota"]["throttles"], t["reloads"]["count"],
+                 f"{t['error_budget']['burn']:.2f}",
+                 "yes" if t["accounting_exact"] and t["ledger_exact"]
+                 else "NO"]
+                for name, t in result.tenants.items()
+            ],
+        ))
+
+    inexact = [
+        name for name, t in result.tenants.items()
+        if not (t["accounting_exact"] and t["ledger_exact"])
+    ]
+    if inexact:
+        print(f"tenant ledger(s) do NOT reconcile: "
+              f"{', '.join(inexact)}", file=sys.stderr)
+        return 1
+    if plane_audit is not None and not plane_audit["exact"]:
+        print("observability plane does NOT reconcile", file=sys.stderr)
         return 1
     return 0
 
@@ -993,7 +1224,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print only the final frame (CI-friendly)")
     top.add_argument("--refresh", type=int, default=5, metavar="K",
                      help="render a frame every K samples (live mode)")
+    top.add_argument("--serve-config", default=None, metavar="REF",
+                     help="drive a multi-tenant serve config (builtin "
+                          "name or JSON file) and render per-tenant "
+                          "rows instead of the fleet-shape flags")
     top.set_defaults(func=_cmd_top)
+
+    service = sub.add_parser(
+        "service",
+        help="multi-tenant serving front-end with per-tenant fault "
+             "domains, quotas, and hot reload",
+        parents=[plane],
+    )
+    service.add_argument("--config", default="duo-isolation",
+                         metavar="REF",
+                         help="builtin serve config name or JSON file "
+                              "(default: duo-isolation)")
+    service.add_argument("--plane", action="store_true",
+                         help="attach the observability plane (implied "
+                              "by --slo / --plane-out)")
+    service.add_argument("--telemetry", action="store_true",
+                         help="enable the metrics registry without "
+                              "the full plane")
+    service.add_argument("--stream", action="store_true",
+                         help="print every tenant's verdict stream")
+    service.add_argument("--json", action="store_true",
+                         help="dump the full result as JSON to stdout")
+    service.add_argument("--out", default=None, metavar="FILE",
+                         help="also write the result JSON here")
+    service.set_defaults(func=_cmd_service)
 
     report = sub.add_parser(
         "report",

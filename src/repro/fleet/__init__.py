@@ -35,7 +35,7 @@ _EXPORTS = {
     "SimulatedWorkerPool": "repro.fleet.workers",
     "ThreadedSliceDecoder": "repro.fleet.workers",
     "make_ring_topa": "repro.fleet.rings",
-    "percentile": "repro.fleet.service",
+    "percentile": "repro.telemetry.metrics",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -137,35 +137,50 @@ class RoundRobinScheduler:
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> None:
-        while self.rounds < self.max_rounds:
-            self._apply_due_verdicts()
-            runnable = [e for e in self.entries if e.schedulable]
-            if not runnable:
-                break
-            progressed = False
-            for entry in runnable:
-                if not entry.schedulable:  # quarantined mid-round
+        while self.step_round():
+            pass
+        self.finalize()
+
+    def step_round(self) -> bool:
+        """Run one scheduler round; ``False`` once the fleet is done.
+
+        This is the historical ``run`` loop body, extracted so a
+        serving front-end can interleave several fleets round-by-round
+        on one event loop: same verdict application order, same stall
+        handling, same idle jumps, so N ``step_round`` calls followed
+        by :meth:`finalize` produce a schedule digest byte-identical to
+        one ``run``.
+        """
+        if self.rounds >= self.max_rounds:
+            return False
+        self._apply_due_verdicts()
+        runnable = [e for e in self.entries if e.schedulable]
+        if not runnable:
+            return False
+        progressed = False
+        for entry in runnable:
+            if not entry.schedulable:  # quarantined mid-round
+                continue
+            if entry.ring.stalled:
+                if self.clock.now >= entry.ring.stall_until:
+                    entry.ring.end_stall(self.clock.now)
+                else:
                     continue
-                if entry.ring.stalled:
-                    if self.clock.now >= entry.ring.stall_until:
-                        entry.ring.end_stall(self.clock.now)
-                    else:
-                        continue
-                self._run_quantum(entry)
-                progressed = True
-            if not progressed:
-                # Whole fleet stalled on checkers: jump to the earliest
-                # deadline instead of spinning.
-                deadlines = [
-                    e.ring.stall_until
-                    for e in self.entries
-                    if e.schedulable and e.ring.stalled
-                ]
-                if not deadlines:
-                    break
-                self.clock.advance_to(min(deadlines))
-            self.rounds += 1
-        self._finalize()
+            self._run_quantum(entry)
+            progressed = True
+        if not progressed:
+            # Whole fleet stalled on checkers: jump to the earliest
+            # deadline instead of spinning.
+            deadlines = [
+                e.ring.stall_until
+                for e in self.entries
+                if e.schedulable and e.ring.stalled
+            ]
+            if not deadlines:
+                return False
+            self.clock.advance_to(min(deadlines))
+        self.rounds += 1
+        return True
 
     # -- one quantum ---------------------------------------------------------
 
@@ -313,7 +328,7 @@ class RoundRobinScheduler:
 
     # -- wind-down -----------------------------------------------------------
 
-    def _finalize(self) -> None:
+    def finalize(self) -> None:
         """Let in-flight checks complete and take effect."""
         horizon = self.dispatcher.flush_horizon()
         if horizon > self.clock.now:

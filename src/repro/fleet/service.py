@@ -18,7 +18,9 @@ with the summed per-process ``MonitorStats`` (the invariant
 
 from __future__ import annotations
 
+import importlib
 import math
+import warnings
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence
 
@@ -28,7 +30,7 @@ from repro.osmodel.process import Process
 from repro.resilience.faults import FaultPlan
 from repro.resilience.retry import DeadLetter, RetryPolicy
 from repro.telemetry import get_telemetry
-from repro.telemetry.metrics import nearest_rank
+from repro.telemetry.metrics import percentile as _percentile
 
 from repro.fleet.dispatcher import FleetDispatcher, QuarantineEvent
 from repro.fleet.monitor import FleetMonitor
@@ -36,10 +38,26 @@ from repro.fleet.rings import RingPolicy
 from repro.fleet.scheduler import FleetClock, FleetEntry, RoundRobinScheduler
 from repro.fleet.workers import SimulatedWorkerPool, ThreadedSliceDecoder
 
+#: symbols this module used to define, now living elsewhere — served
+#: through the PEP-562 shim below with a DeprecationWarning.
+_RELOCATED = {
+    "percentile": "repro.telemetry.metrics",
+}
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Deterministic nearest-rank percentile (q in [0, 100])."""
-    return nearest_rank(sorted(values), q)
+
+def __getattr__(name):
+    home = _RELOCATED.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name!r} from {__name__} is deprecated; "
+        f"use {home}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(home), name)
 
 
 @dataclass
@@ -76,6 +94,9 @@ class FleetConfig:
     faults: Optional[FaultPlan] = None
     #: retry/backoff/dead-letter policy (None = defaults).
     retry: Optional[RetryPolicy] = None
+    #: fault-domain label: scopes this fleet's degradation ledger and
+    #: telemetry series to one serving tenant (None = untenanted).
+    tenant: Optional[str] = None
 
     # -- serialisation -------------------------------------------------------
 
@@ -248,6 +269,11 @@ class FleetService:
         # streams stay aligned) and one degradation audit trail.
         self.dispatcher.injector = self.monitor.fault_injector
         self.dispatcher.degradations = self.monitor.degradations
+        if self.config.tenant is not None:
+            # Tenant-scope the shared ledger before any event lands:
+            # every resilience.events series it emits carries the
+            # tenant label, and reconciliation reads only that slice.
+            self.monitor.degradations.tenant = self.config.tenant
         self.monitor.install()
         self.scheduler = RoundRobinScheduler(
             self.kernel,
@@ -393,8 +419,8 @@ class FleetService:
         }
         lags = [task.lag for task in self.dispatcher.tasks]
         lag = {
-            "p50": percentile(lags, 50),
-            "p99": percentile(lags, 99),
+            "p50": _percentile(lags, 50),
+            "p99": _percentile(lags, 99),
             "mean": sum(lags) / len(lags) if lags else 0.0,
             "max": max(lags) if lags else 0.0,
         }

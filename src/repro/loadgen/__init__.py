@@ -29,6 +29,7 @@ from repro.loadgen.engine import (
     LoadPointResult,
     build_load_service,
     run_load_point,
+    summarize_load_point,
 )
 from repro.loadgen.mixes import MIX_NAMES, mix_requests
 from repro.loadgen.scenario import (
@@ -57,5 +58,6 @@ __all__ = [
     "run_load_point",
     "search_max_under_slo",
     "slo_search",
+    "summarize_load_point",
     "sweep_connections",
 ]

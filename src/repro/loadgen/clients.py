@@ -112,10 +112,17 @@ class LoadTracker:
         clock,
         slo_latency: Optional[float] = None,
         slo_percentile: float = 99.0,
+        tenant: Optional[str] = None,
     ) -> None:
         self.clock = clock
         self.slo_latency = slo_latency
         self.slo_percentile = slo_percentile
+        self.tenant = tenant
+        #: extra labels on every loadgen metric (service mode tags the
+        #: tenant so per-tenant series fan out of the shared registry).
+        self._labels: Dict[str, str] = (
+            {} if tenant is None else {"tenant": tenant}
+        )
         self.records: List[RequestRecord] = []
         self.offered = 0
         self.completed = 0
@@ -189,7 +196,7 @@ class LoadTracker:
                 tel = get_telemetry()
                 if tel.enabled:
                     tel.metrics.counter("loadgen.idle_cycles").inc(
-                        gap, server=st.server
+                        gap, server=st.server, **self._labels
                     )
                 self._feed_due(proc, st, self.clock.now)
         rc = self._orig_accept(kernel, proc)
@@ -221,9 +228,11 @@ class LoadTracker:
         self.offered += 1
         tel = get_telemetry()
         if tel.enabled:
-            tel.metrics.counter("loadgen.offered").inc(server=st.server)
+            tel.metrics.counter("loadgen.offered").inc(
+                server=st.server, **self._labels
+            )
             tel.metrics.gauge("loadgen.inflight").set(
-                self.offered - self.completed
+                self.offered - self.completed, **self._labels
             )
 
     def _record_accept(self, proc, st: _PidState, conn) -> None:
@@ -265,17 +274,20 @@ class LoadTracker:
         bisect.insort(self._latencies, rec.latency)
         tel = get_telemetry()
         if tel.enabled:
-            tel.metrics.counter("loadgen.completed").inc(server=st.server)
+            tel.metrics.counter("loadgen.completed").inc(
+                server=st.server, **self._labels
+            )
             tel.metrics.histogram("loadgen.latency").observe(
-                rec.latency, server=st.server
+                rec.latency, server=st.server, **self._labels
             )
             tel.metrics.gauge("loadgen.inflight").set(
-                self.offered - self.completed
+                self.offered - self.completed, **self._labels
             )
             if self.slo_latency is not None:
                 tel.metrics.gauge("loadgen.slo_headroom").set(
                     self.slo_latency
-                    - self.latency_percentile(self.slo_percentile)
+                    - self.latency_percentile(self.slo_percentile),
+                    **self._labels,
                 )
 
     # -- results -------------------------------------------------------------

@@ -116,11 +116,22 @@ def build_load_service(
     connections: int,
     workers: Optional[int] = None,
     seed: Optional[int] = None,
+    tenant: Optional[str] = None,
+    max_sessions: int = 0,
 ) -> Tuple[FleetService, LoadTracker, List[int]]:
     """A fleet shaped for one load point, with the tracker installed.
 
     Returns ``(service, tracker, attacked_pids)``; the caller runs
     ``service.run()`` (or hands the service to ``repro top``).
+
+    ``tenant`` labels the fleet as one serving fault domain (its
+    degradation ledger and loadgen metrics carry the tenant tag).
+    ``max_sessions`` is the serving admission cap: sessions beyond it
+    (counted across connections, in connection order) are *shed* at
+    admission — each shed session records a ``shed-load`` ledger event
+    and bumps ``service.shed`` — rather than queued.  0 admits
+    everything, leaving the build byte-identical to the pre-serving
+    behavior.
     """
     scenario.validate()
     if connections < 1:
@@ -136,6 +147,7 @@ def build_load_service(
         seed=seed_val,
         faults=scenario.faults,
         retry=scenario.retry,
+        tenant=tenant,
     )
     service = FleetService(config)
     seed_server_fs(service.kernel)
@@ -143,10 +155,12 @@ def build_load_service(
         service.clock,
         slo_latency=scenario.slo_latency,
         slo_percentile=scenario.slo_percentile,
+        tenant=tenant,
     )
     tel = get_telemetry()
     attacked: List[int] = []
     remaining_attacks = scenario.attack_count
+    session_budget = max_sessions if max_sessions > 0 else None
     for index in range(connections):
         server = scenario.servers[index % len(scenario.servers)]
         payloads = mix_requests(
@@ -155,6 +169,19 @@ def build_load_service(
             seed=_connection_seed(seed_val, index),
             mix=scenario.mix,
         )
+        if session_budget is not None:
+            admitted = min(len(payloads), session_budget)
+            for k in range(admitted, len(payloads)):
+                service.monitor.degradations.record(
+                    "shed-load",
+                    detail=f"connection {index} session {k}",
+                )
+                if tel.enabled:
+                    tel.metrics.counter("service.shed").inc(
+                        **({"tenant": tenant} if tenant else {})
+                    )
+            payloads = payloads[:admitted]
+            session_budget -= admitted
         inject = (
             remaining_attacks > 0
             and scenario.attack_kind == "rop"
@@ -250,7 +277,25 @@ def run_load_point(
         scenario, connections, workers=workers, seed=seed,
     )
     result = service.run()
+    return summarize_load_point(
+        scenario, connections, service, tracker, attacked, result
+    )
 
+
+def summarize_load_point(
+    scenario: LoadScenario,
+    connections: int,
+    service: FleetService,
+    tracker: LoadTracker,
+    attacked: List[int],
+    result,
+) -> LoadPointResult:
+    """Distill one completed run into a :class:`LoadPointResult`.
+
+    Shared by :func:`run_load_point` (which calls ``service.run()``)
+    and the serving front-end (which drives the scheduler round-by-
+    round itself and builds the result when its tenant drains).
+    """
     makespan = result.makespan
     idle = tracker.total_idle_cycles
     busy_app = max(result.app_cycles - idle, 1e-9)

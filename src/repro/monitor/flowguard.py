@@ -234,6 +234,47 @@ class FlowGuardMonitor:
         self._protected[process.cr3] = pp
         return pp
 
+    def rebind(
+        self,
+        pp: "ProtectedProcess",
+        labeled: CreditLabeledITC,
+        ocfg: ControlFlowGraph,
+        path_index=None,
+    ) -> None:
+        """Atomically swap a protected process onto a new CFG version.
+
+        The serving front-end's hot O-CFG/ITC-CFG reload: a freshly
+        trained pipeline's artifacts replace the live checking stack —
+        labeled ITC, search index, fast-path checker, slow-path engine
+        — without touching the trace plumbing (IPT unit, ToPA ring,
+        encoder) or the process itself.  Verdicts are computed eagerly
+        at submit time, so calling this between scheduler rounds can
+        never change (or drop) a check already in flight; it only
+        redirects checks submitted afterwards.
+        """
+        process = pp.process
+        index = FlowSearchIndex(
+            labeled, edge_cache_entries=self.policy.edge_cache_entries
+        )
+        checker = FastPathChecker(
+            index,
+            process.image,
+            pkt_count=self.policy.pkt_count,
+            cred_ratio=self.policy.cred_ratio,
+            require_cross_module=self.policy.require_cross_module,
+            require_executable=self.policy.require_executable,
+            path_index=path_index if self.policy.path_sensitive else None,
+            segment_cache=self.segment_cache,
+            ledger=self.degradations,
+            owner_pid=process.pid,
+            engine=self.policy.engine,
+        )
+        slow = SlowPathEngine(process.machine.memory, ocfg)
+        pp.labeled = labeled
+        pp.index = index
+        pp.checker = checker
+        pp.slow = slow
+
     def auto_protect(
         self,
         program: str,
@@ -559,9 +600,15 @@ class FlowGuardMonitor:
         stats.trace_cycles = pp.encoder.cycles
         if self._telemetry.enabled:
             # Tracing cost is cumulative on the encoder, so overwrite
-            # the per-process cell rather than accumulate.
+            # the per-process cell rather than accumulate.  The cell
+            # key carries the tenant tag when this monitor belongs to
+            # a tenant fault domain: pids restart from 1 in every
+            # tenant's kernel, so untagged cells would collide.
+            tenant = getattr(self.degradations, "tenant", None)
+            prefix = "ipt.encoder" if tenant is None \
+                else f"ipt.encoder.{tenant}"
             self._telemetry.profiler.set(
-                f"ipt.encoder.pid{pp.process.pid}", "trace",
+                f"{prefix}.pid{pp.process.pid}", "trace",
                 stats.trace_cycles,
             )
         return stats

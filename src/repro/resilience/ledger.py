@@ -38,6 +38,8 @@ EVENT_KINDS = (
     # dispatcher recovery (fleet)
     "worker-crash", "worker-hang", "task-timeout",
     "retry", "hedge", "dead-letter", "drop-drain", "quarantine",
+    # serving admission control (repro.service)
+    "shed-load", "throttle",
 )
 
 
@@ -52,6 +54,9 @@ class DegradationEvent:
     at: float = 0.0
     #: checker-worker cycles this event wasted (failed attempts only).
     cycles: float = 0.0
+    #: serving tenant whose fault domain this event belongs to
+    #: (None outside service mode).
+    tenant: Optional[str] = None
 
     def to_dict(self) -> dict:
         return {
@@ -60,13 +65,23 @@ class DegradationEvent:
             "detail": self.detail,
             "at": self.at,
             "cycles": self.cycles,
+            "tenant": self.tenant,
         }
 
 
 class DegradationLedger:
-    """Append-only downgrade log with exact reconciliation."""
+    """Append-only downgrade log with exact reconciliation.
 
-    def __init__(self) -> None:
+    ``tenant`` scopes the ledger to one serving fault domain: every
+    event and every ``resilience.events`` series it emits carries the
+    tenant label, and :meth:`reconcile` audits only that tenant's
+    slice of the shared counter — so N tenant ledgers over one metrics
+    registry each balance independently, and a noisy tenant's faults
+    can never leak into a clean tenant's books.
+    """
+
+    def __init__(self, tenant: Optional[str] = None) -> None:
+        self.tenant = tenant
         self.events: List[DegradationEvent] = []
         self._counts: Dict[str, int] = {}
         #: per-kind counts recorded while telemetry was enabled — the
@@ -91,7 +106,8 @@ class DegradationLedger:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown degradation kind {kind!r}")
         event = DegradationEvent(
-            kind=kind, pid=pid, detail=detail, at=at, cycles=cycles
+            kind=kind, pid=pid, detail=detail, at=at, cycles=cycles,
+            tenant=self.tenant,
         )
         self.events.append(event)
         self._counts[kind] = self._counts.get(kind, 0) + 1
@@ -101,15 +117,24 @@ class DegradationLedger:
             self._telemetry_counts[kind] = (
                 self._telemetry_counts.get(kind, 0) + 1
             )
-            tel.metrics.counter("resilience.events").inc(kind=kind)
+            labels = self._labels()
+            tel.metrics.counter("resilience.events").inc(
+                kind=kind, **labels
+            )
             if cycles:
-                tel.metrics.counter("resilience.wasted_cycles").inc(cycles)
+                tel.metrics.counter("resilience.wasted_cycles").inc(
+                    cycles, **labels
+                )
             # The observability plane journals the same event into its
             # flight recorder (inside the enabled guard, so the plane's
             # per-kind tallies reconcile exactly with the counter).
             if tel.plane is not None:
                 tel.plane.on_degradation(event)
         return event
+
+    def _labels(self) -> Dict[str, str]:
+        """Extra metric labels: the tenant fault-domain tag, if any."""
+        return {} if self.tenant is None else {"tenant": self.tenant}
 
     # -- views ---------------------------------------------------------------
 
@@ -132,6 +157,7 @@ class DegradationLedger:
             "events": len(self.events),
             "counts": {k: self._counts[k] for k in sorted(self._counts)},
             "wasted_cycles": self.wasted_cycles,
+            "tenant": self.tenant,
         }
 
     # -- reconciliation ------------------------------------------------------
@@ -152,11 +178,14 @@ class DegradationLedger:
         if metrics is None:
             metrics = get_telemetry().metrics
         counter = metrics.counter("resilience.events")
+        labels = self._labels()
         kinds = set(self._telemetry_counts)
         report: dict = {"kinds": {}, "exact": True}
+        if self.tenant is not None:
+            report["tenant"] = self.tenant
         for kind in sorted(kinds):
             ledger_count = self._telemetry_counts.get(kind, 0)
-            counter_count = int(counter.value(kind=kind))
+            counter_count = int(counter.value(kind=kind, **labels))
             ok = ledger_count == counter_count
             report["kinds"][kind] = {
                 "ledger": ledger_count,
@@ -164,8 +193,12 @@ class DegradationLedger:
                 "ok": ok,
             }
             report["exact"] = report["exact"] and ok
-        # the counter must not know kinds the ledger never recorded
-        extra = counter.total() - sum(self._telemetry_counts.values())
+        # the counter must not know kinds the ledger never recorded —
+        # for a tenanted ledger, only that tenant's slice is audited
+        # (other tenants' series are their own ledgers' business).
+        extra = counter.total(**labels) - sum(
+            self._telemetry_counts.values()
+        )
         report["counter_only"] = extra
         report["exact"] = report["exact"] and extra == 0
         if retry_cycles is not None:

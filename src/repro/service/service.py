@@ -1,0 +1,189 @@
+"""The multi-tenant async serving front-end (``repro service``).
+
+:class:`TraceCheckService` admits trace-check work from multiple named
+tenants and drives each tenant's isolated fleet as its own asyncio
+task.  The event loop's FIFO ready queue interleaves tenants
+round-robin in config order, one scheduler round per turn — fully
+deterministic, so the whole service run is reproducible byte-for-byte
+(each tenant's verdict digest is a pure function of its own spec).
+
+Per tenant the service provides:
+
+* **admission control** — a session cap shed at admission (``shed-load``
+  ledger events, never silent) and a token-bucket quota over the
+  tenant's own virtual cycles (:mod:`repro.service.quota`);
+* **a fault domain** — its own :class:`FaultPlan` injector and
+  tenant-labelled :class:`DegradationLedger`; a noisy neighbor's
+  retries and quarantines cannot appear in another tenant's books;
+* **hot reload** — a fresh O-CFG/ITC-CFG pipeline version swapped in
+  between rounds without dropping in-flight checks, the old version
+  retired after drain (:mod:`repro.service.reload`);
+* **a verdict stream** — an :class:`asyncio.Queue` of verdict events
+  as they come due on the tenant's clock, ending with a ``done`` (or
+  ``drained``) marker.
+
+``run_service`` is the synchronous entry point: it runs the event
+loop, collects every stream, and returns a :class:`ServiceResult`
+whose ``tenants`` mapping is exactly the StatsReport v4 ``tenants``
+section.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.telemetry import get_telemetry
+
+from repro.service.config import ServeConfig
+from repro.service.tenant import TenantRuntime
+
+
+@dataclass
+class ServiceResult:
+    """Everything one serving run produced, per tenant."""
+
+    name: str
+    #: the StatsReport v4 ``tenants`` section: tenant -> report dict.
+    tenants: Dict[str, dict] = field(default_factory=dict)
+    #: every streamed event, per tenant, in stream order.
+    events: Dict[str, List[dict]] = field(default_factory=dict)
+    #: True when the run ended via graceful drain rather than natural
+    #: completion (in-flight work still finished either way).
+    drained: bool = False
+
+    @property
+    def makespan(self) -> float:
+        return max(
+            (t["makespan"] for t in self.tenants.values()), default=0.0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "drained": self.drained,
+            "makespan": self.makespan,
+            "tenants": {k: dict(v) for k, v in self.tenants.items()},
+        }
+
+
+class TraceCheckService:
+    """Asyncio front-end over per-tenant fleet stacks."""
+
+    def __init__(self, config: ServeConfig, plane=None) -> None:
+        config.validate()
+        self.config = config
+        self.plane = plane
+        self.runtimes: List[TenantRuntime] = [
+            TenantRuntime(spec) for spec in config.tenants
+        ]
+        #: tenant -> live verdict stream (filled while serving).
+        self.streams: Dict[str, asyncio.Queue] = {}
+        self._drain_requested = False
+        self._served = False
+
+    # -- introspection -------------------------------------------------------
+
+    def runtime(self, name: str) -> TenantRuntime:
+        for rt in self.runtimes:
+            if rt.name == name:
+                return rt
+        raise KeyError(f"no such tenant: {name!r}")
+
+    @property
+    def now(self) -> float:
+        """The service frontier: the furthest tenant clock."""
+        return max((rt.clock.now for rt in self.runtimes), default=0.0)
+
+    # -- drain / shutdown ----------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Graceful shutdown: stop starting new scheduler rounds once
+        every in-flight check has been applied; already-admitted
+        sessions whose checks are pending still complete (no verdict
+        is ever dropped), later rounds are abandoned."""
+        self._drain_requested = True
+
+    # -- serving -------------------------------------------------------------
+
+    async def serve(
+        self, on_event: Optional[Callable[[dict], None]] = None
+    ) -> ServiceResult:
+        """Drive every tenant to completion (or through a drain)."""
+        if self._served:
+            raise RuntimeError("a TraceCheckService serves exactly once")
+        self._served = True
+        for rt in self.runtimes:
+            self.streams[rt.name] = asyncio.Queue()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("service.tenants").inc(
+                len(self.runtimes)
+            )
+        workers = [
+            asyncio.create_task(self._run_tenant(rt))
+            for rt in self.runtimes
+        ]
+        await asyncio.gather(*workers)
+        if self.plane is not None:
+            # Refresh every tenant's MonitorStats first (that is what
+            # writes the cumulative trace-cycle cells into the
+            # profiler), then close the sample ring at the service
+            # frontier — tenant clocks are never bound to the plane,
+            # so the default finalize would stamp t=0.
+            for rt in self.runtimes:
+                rt.fleet.monitor.all_stats()
+            self.plane.finalize(self.now)
+        result = ServiceResult(
+            name=self.config.name, drained=self._drain_requested
+        )
+        for rt in self.runtimes:
+            events: List[dict] = []
+            queue = self.streams[rt.name]
+            while not queue.empty():
+                event = queue.get_nowait()
+                events.append(event)
+                if on_event is not None:
+                    on_event(event)
+            result.events[rt.name] = events
+            result.tenants[rt.name] = rt.report()
+        return result
+
+    async def _run_tenant(self, rt: TenantRuntime) -> None:
+        queue = self.streams[rt.name]
+        more = True
+        while more and not self._drain_requested:
+            more = rt.step()
+            for event in rt.due_events():
+                queue.put_nowait(event)
+            if self.plane is not None:
+                self.plane.maybe_sample(self.now)
+            # Yield to the loop's FIFO ready queue: tenants interleave
+            # round-robin in config order, deterministically.
+            await asyncio.sleep(0)
+        if more and self._drain_requested:
+            # Drain: apply every already-submitted check before
+            # stopping — verdicts are computed at submit, so none can
+            # be dropped; we simply run the rounds out.
+            rt.fleet.scheduler.finalize()
+            rt.finished = True
+        for event in rt.due_events():
+            queue.put_nowait(event)
+        queue.put_nowait(
+            {
+                "type": "drained" if self._drain_requested else "done",
+                "tenant": rt.name,
+                "at": rt.clock.now,
+            }
+        )
+
+
+def run_service(
+    config: ServeConfig,
+    plane=None,
+    on_event: Optional[Callable[[dict], None]] = None,
+) -> ServiceResult:
+    """Run a serving config to completion on a private event loop."""
+    service = TraceCheckService(config, plane=plane)
+    return asyncio.run(service.serve(on_event=on_event))

@@ -19,6 +19,10 @@ dump, and library consumers got a third shape from
   reconciliation; ``None`` when the run had no resilience plane,
 - ``slo`` — SLO verdicts, error-budget burn and plane health from the
   observability plane (v3); ``None`` when no plane was attached,
+- ``tenants`` — per-tenant serving breakdown from ``repro.service``
+  (v4): verdict counts, latency percentiles, quota/shed counters and
+  error-budget burn, keyed by tenant name; ``None`` outside service
+  mode,
 - ``telemetry`` — the metrics snapshot, when telemetry was enabled.
 
 Every key is always present (absent sections are ``None``, never
@@ -28,6 +32,10 @@ Migration v2 -> v3: purely additive — the new ``slo`` section.  v2
 payloads load fine through :meth:`StatsReport.from_dict` (``slo``
 becomes ``None``); v3 payloads are rejected by v2 readers via the
 existing newer-version check, which is the point of the bump.
+
+Migration v3 -> v4: again purely additive — the new ``tenants``
+section.  v2/v3 payloads load fine (``slo`` / ``tenants`` default to
+``None``); v4 payloads are rejected by older readers.
 """
 
 from __future__ import annotations
@@ -36,8 +44,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 #: current schema revision.  1 was the trio of ad-hoc shapes (implicit,
-#: unversioned); 2 is the unified report; 3 adds the ``slo`` section.
-SCHEMA_VERSION = 3
+#: unversioned); 2 is the unified report; 3 adds the ``slo`` section;
+#: 4 adds the per-tenant serving section ``tenants``.
+SCHEMA_VERSION = 4
 
 _SECTIONS = (
     "schema_version",
@@ -47,6 +56,7 @@ _SECTIONS = (
     "fleet",
     "resilience",
     "slo",
+    "tenants",
     "telemetry",
 )
 
@@ -60,6 +70,7 @@ class StatsReport:
     fleet: Optional[dict] = None
     resilience: Optional[dict] = None
     slo: Optional[dict] = None
+    tenants: Optional[dict] = None
     telemetry: Optional[dict] = None
     context: Dict[str, object] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
@@ -74,6 +85,7 @@ class StatsReport:
             "fleet": self.fleet,
             "resilience": self.resilience,
             "slo": self.slo,
+            "tenants": self.tenants,
             "telemetry": self.telemetry,
         }
 
@@ -96,6 +108,7 @@ class StatsReport:
             fleet=data.get("fleet"),
             resilience=data.get("resilience"),
             slo=data.get("slo"),  # absent before v3
+            tenants=data.get("tenants"),  # absent before v4
             telemetry=data.get("telemetry"),
             context=dict(data.get("context") or {}),
             schema_version=version,

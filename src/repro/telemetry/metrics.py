@@ -37,6 +37,16 @@ def nearest_rank(ordered: Sequence[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Deterministic nearest-rank percentile of an *unsorted* sequence.
+
+    Canonical home of the helper every reporting surface uses (the
+    fleet result, the load tracker, the serving front-end); it simply
+    sorts and defers to :func:`nearest_rank`.
+    """
+    return nearest_rank(sorted(values), q)
+
+
 def series_name(name: str, labels: LabelKey) -> str:
     """Render ``name{k="v",...}`` — the stable series naming scheme."""
     if not labels:
@@ -70,9 +80,22 @@ class Counter:
     def value(self, **labels: object) -> float:
         return self._series.get(_label_key(labels), 0.0)
 
-    def total(self) -> float:
-        """Sum across every labeled series."""
-        return sum(self._series.values())
+    def total(self, **labels: object) -> float:
+        """Sum across every labeled series.
+
+        With labels given, only series carrying those exact label
+        values are summed — ``total(tenant="acme")`` is the tenant's
+        slice of a counter whose series also carry other labels
+        (``kind``, ``server``, ...).
+        """
+        if not labels:
+            return sum(self._series.values())
+        want = set(_label_key(labels))
+        return sum(
+            value
+            for key, value in self._series.items()
+            if want <= set(key)
+        )
 
     def reset(self) -> None:
         self._series.clear()

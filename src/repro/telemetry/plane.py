@@ -700,6 +700,12 @@ class ObservabilityPlane:
         - per degradation kind, the flight tally, the sampled
           ``resilience.events`` counter and the ledger's
           telemetry-enabled counts must agree exactly.
+
+        ``ledger`` may be one :class:`DegradationLedger` or a sequence
+        of them (service mode: one tenant-scoped ledger per tenant,
+        all mirrored into this one plane); the per-kind audit then runs
+        against their summed telemetry counts, with tenant-labeled
+        counter series folded back into per-kind totals.
         """
         self.finalize()
         stats_list = list(stats_list)
@@ -733,12 +739,23 @@ class ObservabilityPlane:
 
         if ledger is not None:
             kinds: Dict[str, dict] = {}
-            ledger_counts = ledger.telemetry_counts()
-            sampled_counts = {
-                _series_label(series, "kind"): int(value)
-                for series, value in last["counters"].items()
-                if _series_base(series) == "resilience.events"
-            }
+            ledgers = (
+                [ledger] if hasattr(ledger, "telemetry_counts")
+                else list(ledger)
+            )
+            ledger_counts: Dict[str, int] = {}
+            for one in ledgers:
+                for kind, count in one.telemetry_counts().items():
+                    ledger_counts[kind] = ledger_counts.get(kind, 0) + count
+            # Tenant-labeled series of the same kind fold into one
+            # per-kind total (the flight recorder tallies by kind).
+            sampled_counts: Dict[str, int] = {}
+            for series, value in last["counters"].items():
+                if _series_base(series) == "resilience.events":
+                    kind = _series_label(series, "kind")
+                    sampled_counts[kind] = (
+                        sampled_counts.get(kind, 0) + int(value)
+                    )
             for kind in sorted(set(ledger_counts) | set(sampled_counts)
                                | set(self._ledger_counts)):
                 row = {

@@ -128,7 +128,7 @@ class TestCommands:
 
         assert main(["stats", "exim", "-n", "2"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert payload["context"] == {
             "kind": "solo", "server": "exim", "sessions": 2,
         }
@@ -167,7 +167,7 @@ class TestCommands:
         assert main(["stats", "exim", "-n", "2", "--plane",
                      "--plane-out", str(dump_path)]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert payload["slo"]["met"] in (True, False)
         assert payload["slo"]["sampler"]["samples"] > 0
         dump = json.loads(dump_path.read_text())
@@ -204,7 +204,7 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         payload = json.loads(out[out.index("{"):])
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert payload["context"]["kind"] == "fleet"
         assert payload["monitor"]["accounting"]["exact"] is True
         assert payload["fleet"]["quarantines"] == []

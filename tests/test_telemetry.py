@@ -315,7 +315,7 @@ class TestStatsCLI:
         ])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert payload["context"]["kind"] == "solo"
         assert payload["monitor"]["reconciliation"]["exact"] is True
         assert payload["monitor"]["processes"]
