@@ -5,12 +5,22 @@ Usage::
 
     PYTHONPATH=src python experiments/fleet_scaling.py [--quick] \
         [--out BENCH_fleet.json]
+    PYTHONPATH=src python experiments/fleet_scaling.py --scale \
+        [--max-processes N] [--out BENCH_fleet_scale.json]
 
 ``--quick`` shrinks the sweeps for CI smoke runs; the JSON shape is
 identical.  Exits non-zero if any sweep's cycle accounting fails to
 reconcile, if the 8-process worker sweep's p99 check lag is not
 monotonically decreasing from 1 to 4 workers, or if stall-mode overhead
 does not exceed lossy-mode overhead under ring pressure.
+
+``--scale`` runs the 100x sweep instead (shared-memory segments,
+process-pool decode, work stealing, sharded index) and gates on:
+sublinear lag_p99 growth, bit-identical thread/process parity,
+bit-identical flat/sharded index parity, steals observed under ring
+pressure, zero leaked shm blocks, exact cycle accounting everywhere,
+and the committed loadgen knee staying at or above the trajectory
+floor.
 """
 
 from __future__ import annotations
@@ -25,18 +35,85 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.experiments import fleet_scaling  # noqa: E402
 
 
+#: the loadgen knee floor the scale run must not regress (committed
+#: BENCH_loadgen.json; mirrors experiments/trajectory.py KNEE_FLOOR).
+KNEE_FLOOR = 75.5
+
+
+def _scale_failures(results: dict) -> list:
+    """The 100x acceptance gates over a ``run_scale`` result."""
+    failures = []
+    if not results["lag_sublinear"]:
+        failures.append(
+            "lag_p99 grew superlinearly with fleet size: "
+            f"{results['lag_growth']}"
+        )
+    if not results["parity"]["identical"]:
+        failures.append(
+            "process-pool decode diverged from threaded: "
+            f"{results['parity']}"
+        )
+    if not results["shard_parity"]["identical"]:
+        failures.append(
+            "sharded index diverged from flat: "
+            f"{results['shard_parity']}"
+        )
+    if not results["steals_observed"]:
+        failures.append("no steals under ring pressure")
+    if results["leaked_blocks"]:
+        failures.append(
+            f"leaked shm blocks: {results['leaked_blocks']}"
+        )
+    if not results["accounting_exact"]:
+        failures.append("cycle ledger drift in the scale sweep")
+    knee_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_loadgen.json"
+    )
+    if knee_path.exists():
+        knee = json.loads(knee_path.read_text())["knee"]["throughput"]
+        results["knee_floor"] = {
+            "floor": KNEE_FLOOR, "committed": knee,
+            "holds": knee >= KNEE_FLOOR,
+        }
+        if knee < KNEE_FLOOR:
+            failures.append(
+                f"committed loadgen knee {knee:.2f} fell below the "
+                f"floor {KNEE_FLOOR}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps for CI smoke runs")
-    parser.add_argument("--out", default="BENCH_fleet.json",
+    parser.add_argument("--scale", action="store_true",
+                        help="run the 100x scale sweep instead")
+    parser.add_argument("--max-processes", type=int, default=100,
+                        help="largest fleet in the --scale sweep")
+    parser.add_argument("--out", default=None,
                         help="output JSON path")
     args = parser.parse_args(argv)
+
+    if args.scale:
+        results = fleet_scaling.run_scale(
+            max_processes=args.max_processes
+        )
+        failures = _scale_failures(results)
+        print(fleet_scaling.format_scale_table(results))
+        out = Path(args.out or "BENCH_fleet_scale.json")
+        out.write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\n[wrote {out}]")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     results = fleet_scaling.run(quick=args.quick)
     print(fleet_scaling.format_table(results))
 
-    out = Path(args.out)
+    out = Path(args.out or "BENCH_fleet.json")
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\n[wrote {out}]")
 

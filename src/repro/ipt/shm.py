@@ -1,0 +1,477 @@
+"""Shared-memory backing for columnar segments (fleet at 100×).
+
+Every resident :class:`~repro.ipt.columnar.ColumnarSegment` column is a
+buffer-protocol object — ``array('Q')`` record IPs/offsets, ``array('L')``
+TNT bit bounds, the packed TNT bitstream, the far-transfer bitset, the
+FUP address column.  This module packs them into **one**
+``multiprocessing.shared_memory`` block per segment, so a segment
+crosses a process boundary as a tiny picklable *descriptor* — block
+name, per-column offsets/lengths, and a handful of scalars — with zero
+pickling of column data.  The attaching side rebuilds the columns with
+``array.frombytes`` straight out of the mapped block (one memcpy per
+column, no object-graph traversal).
+
+Three layers:
+
+- :class:`ShmRegistry` — a per-process named-block registry with
+  refcounted attach/detach and explicit ``close()``/``unlink()``
+  lifecycle.  Every block this process creates or attaches is tracked,
+  so a leak detector (or the fleet-shutdown assertion) can prove the
+  run released everything it mapped.
+- :func:`share_segment` / :func:`attach_segment` — the columnar segment
+  codec over a registry block.
+- graceful degradation — when shared memory is unavailable (no
+  ``/dev/shm``, a sandboxed interpreter, a platform without the
+  module), the registry hands out :class:`_HeapBlock`\\ s instead and
+  descriptors carry their payload inline.  Everything still works and
+  every result is identical; only the zero-copy property is lost.
+
+The copy-on-attach design is deliberate: attach, ``frombytes``-copy the
+columns out, detach.  The mapped view never outlives the attach call,
+which is what makes the refcount/leak accounting exact and lets the
+creator unlink as soon as every consumer has copied out.
+"""
+
+from __future__ import annotations
+
+import secrets
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ipt.columnar import ColumnarSegment
+
+try:  # pragma: no cover - import guard exercised via _force_heap in tests
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm
+    _shared_memory = None
+
+#: test/ops override: force the heap fallback even when shm imports.
+_force_heap = False
+
+#: the column order inside a segment block (documented layout; the
+#: descriptor carries explicit offsets so readers never infer it).
+SEGMENT_COLUMNS = (
+    "data", "rec_ips", "rec_offsets", "rec_bit_start", "rec_bit_end",
+    "tnt_bits", "far_mask", "fup_ips",
+)
+
+
+def shm_available() -> bool:
+    """Whether real shared-memory blocks can be created here."""
+    if _force_heap or _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):  # pragma: no cover - degraded host
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+class _HeapBlock:
+    """Heap-backed stand-in for ``SharedMemory`` (graceful fallback).
+
+    Same ``name``/``buf``/``close``/``unlink`` surface; the buffer is a
+    private bytearray, so descriptors built over heap blocks must carry
+    their payload inline to cross process boundaries (see
+    :meth:`ShmRegistry.create`).
+    """
+
+    __slots__ = ("name", "buf")
+
+    def __init__(self, name: str, size: int,
+                 payload: Optional[bytes] = None) -> None:
+        self.name = name
+        self.buf = memoryview(
+            bytearray(payload) if payload is not None
+            else bytearray(size)
+        )
+
+    def close(self) -> None:
+        pass
+
+    def unlink(self) -> None:
+        pass
+
+
+@dataclass
+class _BlockState:
+    """Registry bookkeeping for one mapped block."""
+
+    block: object
+    refs: int = 1
+    created: bool = False
+
+
+class ShmRegistry:
+    """Per-process registry of named shared-memory blocks.
+
+    ``create`` makes a fresh block (real shm when available, heap
+    otherwise); ``attach`` maps an existing one by name, refcounted so
+    concurrent consumers share one mapping; ``detach`` drops a
+    reference and closes the mapping at zero; ``unlink`` removes the
+    backing object itself (create-side responsibility).
+
+    The counters make leaks provable: a clean shutdown ends with
+    ``live_blocks() == []`` — every attach detached, every created
+    block unlinked.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, _BlockState] = {}
+        #: heap-fallback store: name -> payload (process-local).
+        self._heap: Dict[str, _HeapBlock] = {}
+        self.created = 0
+        self.attached = 0
+        self.unlinked = 0
+        self._use_shm: Optional[bool] = None
+
+    # -- capability ----------------------------------------------------------
+
+    @property
+    def using_shm(self) -> bool:
+        """Whether this registry hands out real shm blocks (probed once
+        on first use, so a flaky host degrades before any block leaks)."""
+        if self._use_shm is None or _force_heap:
+            self._use_shm = shm_available()
+        return self._use_shm
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self, payload: bytes) -> object:
+        """A fresh named block holding ``payload``; returns the block
+        (``.name`` goes into the descriptor).  The creator must
+        eventually :meth:`unlink` it (after every consumer copied out)."""
+        if self.using_shm:
+            block = _shared_memory.SharedMemory(
+                create=True, size=max(len(payload), 1)
+            )
+            block.buf[: len(payload)] = payload
+        else:
+            name = f"repro-heap-{secrets.token_hex(8)}"
+            block = _HeapBlock(name, len(payload), payload)
+            self._heap[name] = block
+        self._blocks[block.name] = _BlockState(
+            block, refs=1, created=True
+        )
+        self.created += 1
+        return block
+
+    def attach(self, name: str, payload: Optional[bytes] = None) -> object:
+        """Map block ``name`` (refcounted).  ``payload`` is the inline
+        fallback carried by heap descriptors: when the name is not
+        locally mapped and real shm is off, the payload *is* the block."""
+        state = self._blocks.get(name)
+        if state is not None:
+            state.refs += 1
+            self.attached += 1
+            return state.block
+        if self.using_shm:
+            block = _shared_memory.SharedMemory(name=name)
+        else:
+            block = self._heap.get(name)
+            if block is None:
+                if payload is None:
+                    raise KeyError(
+                        f"no heap block {name!r} and no inline payload"
+                    )
+                block = _HeapBlock(name, len(payload), payload)
+                self._heap[name] = block
+        self._blocks[name] = _BlockState(block, refs=1, created=False)
+        self.attached += 1
+        return block
+
+    def detach(self, name: str) -> None:
+        """Drop one reference; the mapping closes at zero."""
+        state = self._blocks.get(name)
+        if state is None:
+            raise KeyError(f"detach of unmapped block {name!r}")
+        state.refs -= 1
+        if state.refs <= 0:
+            state.block.close()
+            del self._blocks[name]
+            if not state.created:
+                # heap fallback: an attach-from-inline copy is owned by
+                # the attaching side; drop it with the last reference
+                # (the creator's copy lives until its unlink).
+                self._heap.pop(name, None)
+
+    def unlink(self, name: str) -> None:
+        """Remove the backing object (idempotent per name).  Detaches
+        this process's mapping first if one is still live."""
+        state = self._blocks.pop(name, None)
+        if state is not None:
+            state.block.close()
+            block = state.block
+        else:
+            block = self._heap.get(name)
+            if block is None and self.using_shm:
+                block = _shared_memory.SharedMemory(name=name)
+                block.close()
+        if block is not None:
+            block.unlink()
+        self._heap.pop(name, None)
+        self.unlinked += 1
+
+    def publish(self, name: str) -> None:
+        """Creator-side handoff after the descriptor has been sent:
+        close the local mapping while keeping the named object alive
+        for its consumer (real shm).  In heap-fallback mode the
+        descriptor's inline payload *is* the handoff, so the local
+        copy is dropped entirely — long-lived pool workers must not
+        accumulate segment copies."""
+        if self.using_shm:
+            self.detach(name)
+        else:
+            self.unlink(name)
+
+    # -- leak accounting -----------------------------------------------------
+
+    def live_blocks(self) -> List[str]:
+        """Names still mapped or heap-resident — must be empty after a
+        clean fleet shutdown (the leak-detector contract)."""
+        names = set(self._blocks)
+        names.update(self._heap)
+        return sorted(names)
+
+    def stats(self) -> dict:
+        return {
+            "backend": "shm" if self.using_shm else "heap",
+            "created": self.created,
+            "attached": self.attached,
+            "unlinked": self.unlinked,
+            "live": len(self.live_blocks()),
+        }
+
+
+#: the default per-process registry (workers get their own via fork).
+_registry = ShmRegistry()
+
+
+def get_registry() -> ShmRegistry:
+    return _registry
+
+
+def reset_registry() -> ShmRegistry:
+    """A fresh default registry (tests; re-probes shm availability)."""
+    global _registry
+    _registry = ShmRegistry()
+    return _registry
+
+
+# -- descriptors -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """A :class:`ColumnarSegment` as it crosses a process boundary.
+
+    ``block`` names the shared block; ``layout`` is the per-column
+    ``(offset, length)`` table in :data:`SEGMENT_COLUMNS` order.  The
+    scalars ride along directly (they are a fixed handful of numbers).
+    ``inline`` carries the packed payload only in heap-fallback mode —
+    with real shm it stays ``None`` and nothing but this dataclass is
+    pickled.
+    """
+
+    block: str
+    layout: Tuple[Tuple[int, int], ...]
+    sync: bool
+    synced_offset: int
+    pkt_count: int
+    cycles: float
+    truncated: bool
+    total_bits: int
+    pend_start: int
+    trailing_far: bool
+    record_count: int
+    inline: Optional[bytes] = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class BytesDescriptor:
+    """A raw byte buffer (a drained ring snapshot) behind a block."""
+
+    block: str
+    length: int
+    inline: Optional[bytes] = field(default=None, repr=False)
+
+
+def _pack_columns(chunks: List[bytes]) -> Tuple[bytes, Tuple[Tuple[int, int], ...]]:
+    layout = []
+    offset = 0
+    for chunk in chunks:
+        layout.append((offset, len(chunk)))
+        offset += len(chunk)
+    return b"".join(chunks), tuple(layout)
+
+
+def share_segment(
+    seg: ColumnarSegment, registry: Optional[ShmRegistry] = None
+) -> SegmentDescriptor:
+    """Pack ``seg``'s columns into one registry block; returns the
+    descriptor.  The caller owns the block and must ``unlink`` it once
+    every consumer has attached and copied out."""
+    reg = registry if registry is not None else _registry
+    records = len(seg.rec_ips)
+    far_bytes = int(seg.far_mask).to_bytes(
+        max(1, (records + 7) // 8), "little"
+    )
+    payload, layout = _pack_columns([
+        bytes(seg.data),
+        seg.rec_ips.tobytes(),
+        seg.rec_offsets.tobytes(),
+        seg.rec_bit_start.tobytes(),
+        seg.rec_bit_end.tobytes(),
+        bytes(seg.tnt_bits),
+        far_bytes,
+        array("Q", seg.fup_ips).tobytes(),
+    ])
+    block = reg.create(payload)
+    return SegmentDescriptor(
+        block=block.name,
+        layout=layout,
+        sync=seg.sync,
+        synced_offset=seg.synced_offset,
+        pkt_count=seg.pkt_count,
+        cycles=seg.cycles,
+        truncated=seg.truncated,
+        total_bits=seg.total_bits,
+        pend_start=seg.pend_start,
+        trailing_far=seg.trailing_far,
+        record_count=records,
+        inline=None if reg.using_shm else payload,
+    )
+
+
+def _segment_from_block(buf, desc: SegmentDescriptor) -> ColumnarSegment:
+    """Rebuild the segment columns out of a mapped block — one
+    ``frombytes`` memcpy per column, no object-graph traversal."""
+
+    def col(index: int) -> bytes:
+        offset, length = desc.layout[index]
+        return bytes(buf[offset : offset + length])
+
+    rec_ips = array("Q")
+    rec_ips.frombytes(col(1))
+    rec_offsets = array("Q")
+    rec_offsets.frombytes(col(2))
+    rec_bit_start = array("L")
+    rec_bit_start.frombytes(col(3))
+    rec_bit_end = array("L")
+    rec_bit_end.frombytes(col(4))
+    fup_ips = array("Q")
+    fup_ips.frombytes(col(7))
+    return ColumnarSegment(
+        col(0),
+        desc.sync,
+        desc.synced_offset,
+        desc.pkt_count,
+        desc.cycles,
+        desc.truncated,
+        rec_ips,
+        rec_offsets,
+        rec_bit_start,
+        rec_bit_end,
+        col(5),
+        desc.total_bits,
+        desc.pend_start,
+        desc.trailing_far,
+        int.from_bytes(col(6), "little"),
+        fup_ips,
+    )
+
+
+def attach_segment(
+    desc: SegmentDescriptor, registry: Optional[ShmRegistry] = None
+) -> ColumnarSegment:
+    """Rebuild the segment from its descriptor: attach, copy the
+    columns out, detach.  The returned segment is fully resident and
+    independent of the block (which stays alive for other consumers)."""
+    reg = registry if registry is not None else _registry
+    block = reg.attach(desc.block, payload=desc.inline)
+    try:
+        return _segment_from_block(block.buf, desc)
+    finally:
+        reg.detach(desc.block)
+
+
+def consume_segment(
+    desc: SegmentDescriptor, registry: Optional[ShmRegistry] = None
+) -> ColumnarSegment:
+    """Attach, rebuild, and **unlink** in one step — the receive side
+    of a produce-once/consume-once handoff (a pool worker shared the
+    segment, this process is its only reader)."""
+    reg = registry if registry is not None else _registry
+    block = reg.attach(desc.block, payload=desc.inline)
+    try:
+        return _segment_from_block(block.buf, desc)
+    finally:
+        reg.unlink(desc.block)
+
+
+def share_bytes(
+    data, registry: Optional[ShmRegistry] = None
+) -> BytesDescriptor:
+    """One raw buffer (a ToPA snapshot) behind a registry block."""
+    reg = registry if registry is not None else _registry
+    payload = bytes(data)
+    block = reg.create(payload)
+    return BytesDescriptor(
+        block=block.name,
+        length=len(payload),
+        inline=None if reg.using_shm else payload,
+    )
+
+
+def attach_bytes(
+    desc: BytesDescriptor,
+    begin: int = 0,
+    end: Optional[int] = None,
+    registry: Optional[ShmRegistry] = None,
+) -> bytes:
+    """A span of the buffer behind a :class:`BytesDescriptor` (attach,
+    copy, detach).  ``begin``/``end`` let a pool worker copy out only
+    its PSB span instead of the whole snapshot."""
+    reg = registry if registry is not None else _registry
+    stop = desc.length if end is None else min(end, desc.length)
+    block = reg.attach(desc.block, payload=desc.inline)
+    try:
+        return bytes(block.buf[begin:stop])
+    finally:
+        reg.detach(desc.block)
+
+
+def release(descriptor, registry: Optional[ShmRegistry] = None) -> None:
+    """Unlink the block behind a descriptor (creator-side cleanup)."""
+    reg = registry if registry is not None else _registry
+    reg.unlink(descriptor.block)
+
+
+def segment_fingerprint(seg: ColumnarSegment) -> bytes:
+    """A canonical byte string over every column and scalar of ``seg``
+    — two segments decode identically iff their fingerprints match.
+    Used by the thread-vs-process decode parity gates."""
+    records = len(seg.rec_ips)
+    parts = [
+        b"seg",
+        int(seg.sync).to_bytes(1, "little"),
+        seg.synced_offset.to_bytes(8, "little"),
+        seg.pkt_count.to_bytes(8, "little"),
+        repr(seg.cycles).encode(),
+        int(seg.truncated).to_bytes(1, "little"),
+        seg.rec_ips.tobytes(),
+        seg.rec_offsets.tobytes(),
+        seg.rec_bit_start.tobytes(),
+        seg.rec_bit_end.tobytes(),
+        bytes(seg.tnt_bits),
+        seg.total_bits.to_bytes(8, "little"),
+        seg.pend_start.to_bytes(8, "little"),
+        int(seg.trailing_far).to_bytes(1, "little"),
+        int(seg.far_mask).to_bytes(max(1, (records + 7) // 8), "little"),
+        array("Q", seg.fup_ips).tobytes(),
+        bytes(seg.data),
+    ]
+    return b"|".join(parts)

@@ -21,6 +21,10 @@ from repro.itccfg.credits import (
 )
 from repro.itccfg.paths import PathIndex
 from repro.itccfg.searchindex import FlowSearchIndex
+from repro.itccfg.shardindex import (
+    ShardedFlowSearchIndex,
+    build_flow_index,
+)
 from repro.itccfg.serialize import (
     itccfg_from_dict,
     itccfg_memory_bytes,
@@ -35,6 +39,8 @@ __all__ = [
     "ITCCFG",
     "ITCEdge",
     "PathIndex",
+    "ShardedFlowSearchIndex",
+    "build_flow_index",
     "build_itccfg",
     "itccfg_from_dict",
     "itccfg_memory_bytes",

@@ -1,0 +1,361 @@
+"""Sharded flow-search index for contention-free N-worker probing.
+
+The flat :class:`~repro.itccfg.searchindex.FlowSearchIndex` keeps one
+hot cache and one edge memo — the only *mutable* state on the fast
+path.  With hundreds of checker workers probing one index, those dicts
+are the write-contention points (``promote()`` mutates them under
+every worker's feet).  :class:`ShardedFlowSearchIndex` splits exactly
+that mutable state into N per-module shards, routed by source address,
+while the immutable spine — the sorted source array, flattened target
+arrays, and credit labelling — stays shared read-only across shards:
+
+- a probe touches only its owning shard's hot/memo dicts, so N workers
+  checking N different modules never write-share a cache line;
+- ``promote()`` routes to the owning shard, and its memo invalidation
+  scans only that shard's entries;
+- shard stats aggregate *exactly* to the flat totals (the test suite
+  asserts cycles, verdicts, promotions and stats bit-identical to a
+  flat index replaying the same stream).
+
+Routing is per-module: text segments are megabyte-scale regions, so
+``(src >> MODULE_SHIFT) % shards`` keeps each module's edges (and the
+hot-path locality that module enjoys) inside one shard.
+
+Cycle-model note: probe charges derive from the *global* spine sizes
+(``len(src_arr).bit_length()``), never from shard-local sizes, and all
+charges land on the shared ``cycles`` meter in the same order as the
+flat index — sharding is a concurrency layout, not a different
+instrument.  With ``edge_cache_entries`` > 0 the memo LRU becomes
+per-shard (capacity applies per shard), which can change *eviction*
+order versus one global LRU; the fleet default keeps the memo off, and
+the parity gates run that configuration.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+from typing import Tuple
+
+from repro import costs
+from repro.telemetry import get_telemetry
+from repro.ipt.packets import pack_tnt_sig, unpack_tnt_sig
+from repro.itccfg.credits import CreditLabeledITC, CreditLevel
+from repro.itccfg.searchindex import (
+    BatchCheckResult,
+    FlowSearchIndex,
+    LookupResult,
+)
+
+#: per-module routing granularity: 1 MiB address regions.
+MODULE_SHIFT = 20
+
+
+class _IndexShard:
+    """One shard's mutable state (hot cache + memo + counters)."""
+
+    __slots__ = (
+        "hot", "hot_sigs", "memo",
+        "memo_hits", "memo_misses", "memo_invalidations", "promotions",
+    )
+
+    def __init__(self) -> None:
+        self.hot = {}
+        self.hot_sigs = {}
+        self.memo: "OrderedDict[tuple, LookupResult]" = OrderedDict()
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_invalidations = 0
+        self.promotions = 0
+
+
+class ShardedFlowSearchIndex(FlowSearchIndex):
+    """N promote/memo domains over one shared immutable spine."""
+
+    def __init__(
+        self,
+        labeled: CreditLabeledITC,
+        shards: int,
+        edge_cache_entries: int = 0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("sharded index needs at least one shard")
+        super().__init__(labeled, edge_cache_entries)
+        self.shards = shards
+        self._shard_list = [_IndexShard() for _ in range(shards)]
+        # Partition the initial HIGH-credit hot entries by owner; the
+        # per-shard dicts become the only store (their union is the
+        # flat index's hot cache, asserted by shard_stats parity).
+        for key, patterns in self._hot.items():
+            shard = self._shard_list[self.shard_of(key[0])]
+            shard.hot[key] = patterns
+            shard.hot_sigs[key] = self._hot_sigs[key]
+        # Poison the flat stores: every lookup below must go through a
+        # shard, and an accidental flat access should fail loudly.
+        self._hot = None
+        self._hot_sigs = None
+        self._memo = None
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_of(self, src: int) -> int:
+        """Owning shard of a source address (per-module regions)."""
+        return (src >> MODULE_SHIFT) % self.shards
+
+    # -- maintenance ---------------------------------------------------------
+
+    def promote(self, src: int, dst: int, tnt: Tuple[bool, ...] = ()) -> None:
+        """Credit promotion routed to the owning shard: only that
+        shard's hot dicts and memo entries are touched."""
+        shard = self._shard_list[self.shard_of(src)]
+        shard.promotions += 1
+        patterns = shard.hot.setdefault((src, dst), set())
+        sigs = shard.hot_sigs.setdefault((src, dst), set())
+        if tnt:
+            patterns.add(tuple(tnt))
+            sigs.add(pack_tnt_sig(tnt))
+        if shard.memo:
+            stale = [
+                key for key in shard.memo
+                if key[0] == src and key[1] == dst
+            ]
+            for key in stale:
+                del shard.memo[key]
+            if stale:
+                shard.memo_invalidations += len(stale)
+                self.memo_invalidations += len(stale)
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "itccfg.edge_cache.invalidations"
+                    ).inc(len(stale))
+
+    # -- lookups -------------------------------------------------------------
+
+    def check_edge(
+        self, src: int, dst: int, tnt: Tuple[bool, ...] = ()
+    ) -> LookupResult:
+        if not self.edge_cache_entries:
+            return self._check_edge_uncached(src, dst, tnt)
+        shard = self._shard_list[self.shard_of(src)]
+        key = (src, dst, tuple(tnt))
+        self.cycles += costs.EDGE_CACHE_PROBE_CYCLES
+        cached = shard.memo.get(key)
+        tel = get_telemetry()
+        if cached is not None:
+            shard.memo.move_to_end(key)
+            shard.memo_hits += 1
+            self.memo_hits += 1
+            if tel.enabled:
+                tel.metrics.counter("itccfg.edge_cache.hits").inc()
+            return LookupResult(
+                cached.in_graph, cached.credit, cached.tnt_ok, probes=1
+            )
+        shard.memo_misses += 1
+        self.memo_misses += 1
+        if tel.enabled:
+            tel.metrics.counter("itccfg.edge_cache.misses").inc()
+        result = self._check_edge_uncached(src, dst, tnt)
+        shard.memo[key] = result
+        if len(shard.memo) > self.edge_cache_entries:
+            shard.memo.popitem(last=False)
+        return result
+
+    def _check_edge_uncached(
+        self, src: int, dst: int, tnt: Tuple[bool, ...] = ()
+    ) -> LookupResult:
+        # Mirrors the flat index byte-for-byte, with the hot probe
+        # routed to the owning shard.  Spine probes and charges use the
+        # shared global arrays, so cycle accounting is identical.
+        probes = 1
+        self.cycles += costs.CREDIT_CACHE_PROBE_CYCLES
+        hot = self._shard_list[self.shard_of(src)].hot.get((src, dst))
+        if hot is not None:
+            tnt_ok = not hot or tuple(tnt) in hot
+            return LookupResult(True, CreditLevel.HIGH, tnt_ok, probes)
+
+        found_src, src_probes = self._binary_search(self._sources, src)
+        probes += src_probes
+        self.cycles += src_probes * costs.SEARCH_PROBE_CYCLES
+        if not found_src:
+            return LookupResult(False, CreditLevel.LOW, False, probes)
+        index = bisect.bisect_left(self._sources, src)
+        found_dst, dst_probes = self._binary_search(
+            self._targets[index], dst
+        )
+        probes += dst_probes
+        self.cycles += dst_probes * costs.SEARCH_PROBE_CYCLES
+        if not found_dst:
+            return LookupResult(False, CreditLevel.LOW, False, probes)
+        credit = self.labeled.credit_of(src, dst)
+        tnt_ok = (
+            credit is CreditLevel.HIGH
+            and self.labeled.tnt_matches(src, dst, tnt)
+        )
+        return LookupResult(True, credit, tnt_ok, probes)
+
+    def check_batch(self, ips: list, sigs: list) -> BatchCheckResult:
+        """The flat index's batched loop with per-pair shard routing.
+
+        Identical cycle charges in identical order, identical early
+        stop, identical telemetry — only the dict each hot/memo probe
+        lands in differs (the owning shard's).
+        """
+        outcome = BatchCheckResult()
+        low_credit = outcome.low_credit
+        memo_capacity = self.edge_cache_entries
+        shard_list = self._shard_list
+        shard_count = self.shards
+        src_arr = self._src_arr
+        tgt_flat = self._tgt_flat
+        tgt_bounds = self._tgt_bounds
+        src_probes = max(1, len(src_arr).bit_length())
+        credit_probe = costs.CREDIT_CACHE_PROBE_CYCLES
+        search_probe = costs.SEARCH_PROBE_CYCLES
+        memo_probe = costs.EDGE_CACHE_PROBE_CYCLES
+        bisect_left = bisect.bisect_left
+        high = CreditLevel.HIGH
+        low_level = CreditLevel.LOW
+        labeled = self.labeled
+        hit_counter = miss_counter = None
+        if memo_capacity:
+            tel = get_telemetry()
+            if tel.enabled:
+                hit_counter = tel.metrics.counter("itccfg.edge_cache.hits")
+                miss_counter = tel.metrics.counter("itccfg.edge_cache.misses")
+        sig_tuples = self._sig_tuples
+        checked = 0
+        for index in range(1, len(ips)):
+            src = ips[index - 1]
+            dst = ips[index]
+            sig = sigs[index]
+            checked += 1
+            shard = shard_list[(src >> MODULE_SHIFT) % shard_count]
+            key = None
+            if memo_capacity:
+                memo = shard.memo
+                tnt = sig_tuples.get(sig)
+                if tnt is None:
+                    tnt = unpack_tnt_sig(sig)
+                    sig_tuples[sig] = tnt
+                key = (src, dst, tnt)
+                self.cycles += memo_probe
+                cached = memo.get(key)
+                if cached is not None:
+                    memo.move_to_end(key)
+                    shard.memo_hits += 1
+                    self.memo_hits += 1
+                    if hit_counter is not None:
+                        hit_counter.inc()
+                    if not cached.in_graph:
+                        outcome.violation = (src, dst)
+                        break
+                    if cached.credit is not high or not cached.tnt_ok:
+                        low_credit.append((src, dst))
+                    continue
+                shard.memo_misses += 1
+                self.memo_misses += 1
+                if miss_counter is not None:
+                    miss_counter.inc()
+            # -- uncached lookup (mirrors the flat loop) ---------------------
+            probes = 1
+            self.cycles += credit_probe
+            hot = shard.hot_sigs.get((src, dst))
+            if hot is not None:
+                in_graph = True
+                credit = high
+                tnt_ok = not hot or sig in hot
+            else:
+                probes += src_probes
+                self.cycles += src_probes * search_probe
+                position = bisect_left(src_arr, src)
+                if position < len(src_arr) and src_arr[position] == src:
+                    lo = tgt_bounds[position]
+                    hi = tgt_bounds[position + 1]
+                    dst_probes = max(1, (hi - lo).bit_length())
+                    probes += dst_probes
+                    self.cycles += dst_probes * search_probe
+                    slot = bisect_left(tgt_flat, dst, lo, hi)
+                    if slot < hi and tgt_flat[slot] == dst:
+                        in_graph = True
+                        credit = labeled.credit_of(src, dst)
+                        if credit is high:
+                            tnt = sig_tuples.get(sig)
+                            if tnt is None:
+                                tnt = unpack_tnt_sig(sig)
+                                sig_tuples[sig] = tnt
+                            tnt_ok = labeled.tnt_matches(src, dst, tnt)
+                        else:
+                            tnt_ok = False
+                    else:
+                        in_graph = False
+                        credit = low_level
+                        tnt_ok = False
+                else:
+                    in_graph = False
+                    credit = low_level
+                    tnt_ok = False
+            if memo_capacity:
+                shard.memo[key] = LookupResult(in_graph, credit, tnt_ok, probes)
+                if len(shard.memo) > memo_capacity:
+                    shard.memo.popitem(last=False)
+            if not in_graph:
+                outcome.violation = (src, dst)
+                break
+            if credit is not high or not tnt_ok:
+                low_credit.append((src, dst))
+        outcome.checked = checked
+        return outcome
+
+    # -- stats ---------------------------------------------------------------
+
+    def edge_cache_stats(self) -> dict:
+        return {
+            "entries": self.edge_cache_entries,
+            "resident": sum(len(s.memo) for s in self._shard_list),
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "invalidations": self.memo_invalidations,
+            "hit_rate": (
+                self.memo_hits / (self.memo_hits + self.memo_misses)
+                if (self.memo_hits + self.memo_misses) else 0.0
+            ),
+            "shards": self.shards,
+        }
+
+    def memory_bytes(self) -> int:
+        size = 24 * len(self._sources)
+        size += sum(8 * len(targets) for targets in self._targets)
+        for shard in self._shard_list:
+            for patterns in shard.hot.values():
+                size += 16  # edge key
+                size += sum(8 + (len(p) + 7) // 8 for p in patterns)
+        return size
+
+    def shard_stats(self) -> list:
+        """Per-shard observables; their sums equal the flat totals."""
+        return [
+            {
+                "hot_edges": len(shard.hot),
+                "memo_resident": len(shard.memo),
+                "memo_hits": shard.memo_hits,
+                "memo_misses": shard.memo_misses,
+                "invalidations": shard.memo_invalidations,
+                "promotions": shard.promotions,
+            }
+            for shard in self._shard_list
+        ]
+
+
+def build_flow_index(
+    labeled: CreditLabeledITC,
+    edge_cache_entries: int = 0,
+    index_shards: int = 0,
+) -> FlowSearchIndex:
+    """The fast-path index for a policy: flat when ``index_shards`` is
+    0, sharded otherwise — same surface, same charges, same verdicts."""
+    if index_shards > 0:
+        return ShardedFlowSearchIndex(
+            labeled, index_shards, edge_cache_entries=edge_cache_entries
+        )
+    return FlowSearchIndex(labeled, edge_cache_entries=edge_cache_entries)

@@ -76,6 +76,11 @@ class FlowGuardPolicy:
     #: (materialise the legacy ``DecodedPacket`` list first).  Verdicts
     #: and cycles are identical; only wall-clock differs.
     slow_lane: str = "columnar"
+    #: flow-index sharding: 0 keeps the flat ``FlowSearchIndex``; N >= 1
+    #: builds a ``ShardedFlowSearchIndex`` with N per-module promote/
+    #: memo domains.  Charges and verdicts are identical (the spine is
+    #: shared); only mutable-state layout differs.
+    index_shards: int = 0
 
     def __post_init__(self) -> None:
         if self.scan_kernel not in SCAN_KERNEL_MODES:
@@ -130,4 +135,5 @@ class FlowGuardPolicy:
             engine=self.engine,
             scan_kernel=self.scan_kernel,
             slow_lane=self.slow_lane,
+            index_shards=self.index_shards,
         )

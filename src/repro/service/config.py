@@ -278,11 +278,33 @@ def _reload() -> ServeConfig:
     )
 
 
+def _open_mix() -> ServeConfig:
+    """Open-loop arrival shape: two tenants driven by fixed-rate
+    arrival schedules instead of closed-loop think time — steady
+    Poisson-like arrivals next to clustered bursts.  Offered load is
+    set by the schedule, not by completions, so each tenant's
+    achieved/offered ratio (the v4 ``fairness`` entry) measures how
+    much of its demand the service actually absorbed, and the
+    cross-tenant ratio spread measures fairness between them."""
+    return ServeConfig(
+        name="open-mix",
+        tenants=(
+            TenantSpec(
+                name="steady", scenario="mixed-open", connections=2
+            ),
+            TenantSpec(
+                name="bursty", scenario="bursty-open", connections=2
+            ),
+        ),
+    )
+
+
 BUILTIN_SERVE_CONFIGS: Dict[str, Callable[[], ServeConfig]] = {
     "smoke": _smoke,
     "duo-isolation": _duo_isolation,
     "quota-shed": _quota_shed,
     "reload": _reload,
+    "open-mix": _open_mix,
 }
 
 

@@ -59,11 +59,26 @@ class ServiceResult:
             (t["makespan"] for t in self.tenants.values()), default=0.0
         )
 
+    def fairness(self) -> dict:
+        """Cross-tenant fairness: each tenant's achieved/offered ratio
+        and the max-min spread between them (0.0 = perfectly fair —
+        every tenant got the same fraction of its demand absorbed)."""
+        ratios = {
+            name: report["fairness"]["ratio"]
+            for name, report in self.tenants.items()
+            if "fairness" in report
+        }
+        spread = (
+            max(ratios.values()) - min(ratios.values()) if ratios else 0.0
+        )
+        return {"ratios": ratios, "spread": spread}
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
             "drained": self.drained,
             "makespan": self.makespan,
+            "fairness": self.fairness(),
             "tenants": {k: dict(v) for k, v in self.tenants.items()},
         }
 

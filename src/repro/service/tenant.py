@@ -218,6 +218,20 @@ class TenantRuntime:
             "offered": summary.offered,
             "completed": summary.completed,
             "shed": ledger.count("shed-load"),
+            # Achieved/offered ratio: under closed loops this is 1.0
+            # minus sheds (completions gate arrivals); under open-loop
+            # schedules it measures how much of the tenant's scheduled
+            # demand the service absorbed.  The service-level fairness
+            # spread is the max-min gap of these ratios.
+            "fairness": {
+                "offered": summary.offered,
+                "achieved": summary.completed,
+                "ratio": (
+                    summary.completed / summary.offered
+                    if summary.offered
+                    else 1.0
+                ),
+            },
             "throughput": summary.throughput,
             "latency": dict(summary.latency),
             "verdicts": {k: verdicts[k] for k in sorted(verdicts)},

@@ -1,0 +1,510 @@
+"""Fleet at 100x: shared-memory segments, process-pool decode,
+work-stealing scheduling, and the sharded flow index.
+
+Every test here defends one leg of the scale tentpole:
+
+- ``repro.ipt.shm`` — descriptor round-trips, refcounted leak
+  accounting, and the graceful heap fallback (results identical, zero
+  live blocks either way; only the zero-copy property is lost);
+- ``ProcessPoolSliceDecoder`` — bit-identical to the threaded decoder
+  (rolling column digest), leak-free, and observationally invisible to
+  the fleet (same schedule digest, accounting, and dead-letter books
+  under injected worker crashes);
+- the segment-tree dispatch index — selection and full-schedule parity
+  against the linear-scan oracle it replaced;
+- ``WorkStealingPool`` — steals under backlog, exact ledger either way;
+- ``ShardedFlowSearchIndex`` — verdicts, charges, memo telemetry, and
+  promote routing identical to the flat index;
+- open-loop tenant arrivals — the v4 ``fairness`` entries and the
+  service-level ratio spread.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.experiments.common import (
+    seed_server_fs,
+    server_pipeline,
+    server_requests,
+)
+from repro.experiments.fleet_scaling import build_fleet
+from repro.fleet.service import FleetConfig, FleetService
+from repro.fleet.workers import (
+    CheckTask,
+    SimulatedWorkerPool,
+    ProcessPoolSliceDecoder,
+    ThreadedSliceDecoder,
+    WorkStealingPool,
+    make_pool,
+    make_slice_decoder,
+)
+from repro.ipt import shm
+from repro.ipt.columnar import columnar_scan
+from repro.itccfg import (
+    CreditLabeledITC,
+    FlowSearchIndex,
+    ITCCFG,
+    ITCEdge,
+    ShardedFlowSearchIndex,
+    build_flow_index,
+)
+from repro.itccfg.shardindex import MODULE_SHIFT
+from repro.resilience import FaultPlan, FaultSite, RetryPolicy
+from repro.service import builtin_serve_config, run_service
+
+from tests.test_columnar import build_stream
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_detector():
+    """Every test runs against a fresh registry and must end with zero
+    live blocks — the leak contract the fleet shutdown relies on."""
+    registry = shm.reset_registry()
+    yield registry
+    leaked = registry.live_blocks()
+    shm._force_heap = False
+    shm.reset_registry()
+    assert leaked == [], f"leaked shm blocks: {leaked}"
+
+
+# -- shm registry and descriptors --------------------------------------------
+
+
+class TestShmRegistry:
+    def test_segment_round_trip_is_bit_identical(self):
+        for seed in (1, 2, 3):
+            seg = columnar_scan(build_stream(seed, packets=120))
+            desc = shm.share_segment(seg)
+            clone = shm.attach_segment(desc)
+            assert shm.segment_fingerprint(clone) == (
+                shm.segment_fingerprint(seg)
+            )
+            shm.release(desc)
+
+    def test_consume_unlinks_the_block(self):
+        reg = shm.get_registry()
+        seg = columnar_scan(build_stream(7, packets=60))
+        desc = shm.share_segment(seg)
+        clone = shm.consume_segment(desc)
+        assert shm.segment_fingerprint(clone) == (
+            shm.segment_fingerprint(seg)
+        )
+        assert reg.live_blocks() == []
+        assert reg.stats()["unlinked"] >= 1
+
+    def test_bytes_descriptor_spans(self):
+        data = bytes(range(256)) * 4
+        desc = shm.share_bytes(data)
+        assert shm.attach_bytes(desc) == data
+        assert shm.attach_bytes(desc, 16, 64) == data[16:64]
+        assert shm.attach_bytes(desc, 0, 10**9) == data
+        shm.release(desc)
+
+    def test_attach_is_refcounted(self):
+        reg = shm.get_registry()
+        desc = shm.share_bytes(b"x" * 32)
+        reg.attach(desc.block, payload=desc.inline)
+        reg.attach(desc.block, payload=desc.inline)
+        reg.detach(desc.block)
+        # Still mapped: two references remain (creator + one attach).
+        assert desc.block in reg.live_blocks()
+        reg.detach(desc.block)
+        shm.release(desc)
+        assert reg.live_blocks() == []
+
+    def test_detach_of_unmapped_block_raises(self):
+        with pytest.raises(KeyError):
+            shm.get_registry().detach("no-such-block")
+
+    def test_heap_fallback_round_trips_inline(self):
+        shm._force_heap = True
+        reg = shm.reset_registry()
+        assert not reg.using_shm
+        seg = columnar_scan(build_stream(11, packets=80))
+        desc = shm.share_segment(seg, reg)
+        assert desc.inline is not None  # payload rides the descriptor
+        # The descriptor must survive pickling into a registry that
+        # never saw the block (the cross-process story, minus fork).
+        wire = pickle.loads(pickle.dumps(desc))
+        other = shm.ShmRegistry()
+        clone = shm.attach_segment(wire, other)
+        assert shm.segment_fingerprint(clone) == (
+            shm.segment_fingerprint(seg)
+        )
+        assert other.live_blocks() == []
+        shm.release(desc, reg)
+        assert reg.live_blocks() == []
+
+    def test_heap_publish_drops_the_local_copy(self):
+        shm._force_heap = True
+        reg = shm.reset_registry()
+        desc = shm.share_bytes(b"payload", reg)
+        reg.publish(desc.block)
+        # Long-lived pool workers must not accumulate segment copies.
+        assert reg.live_blocks() == []
+        # The consumer still rebuilds from the inline payload.
+        assert shm.attach_bytes(desc, registry=shm.ShmRegistry()) == (
+            b"payload"
+        )
+
+    def test_stats_report_backend(self):
+        assert shm.get_registry().stats()["backend"] in ("shm", "heap")
+        shm._force_heap = True
+        assert shm.reset_registry().stats()["backend"] == "heap"
+
+
+# -- dispatch index: segment tree vs linear oracle ---------------------------
+
+
+class _LinearPool(SimulatedWorkerPool):
+    """The pre-optimisation pool: same dispatch, O(workers) scans."""
+
+    def _earliest(self, not_before):
+        return self._earliest_linear(not_before)
+
+    def _latest(self):
+        return self._latest_linear()
+
+
+def _task(index, rng):
+    return CheckTask(
+        task_id=index,
+        pid=rng.randrange(16),
+        kind="endpoint",
+        syscall_nr=0,
+        enqueued_at=float(rng.randrange(0, 2000)),
+        slices=[
+            float(rng.randrange(10, 120))
+            for _ in range(rng.randrange(0, 4))
+        ],
+        serial_cycles=float(rng.randrange(0, 200)),
+        degraded=rng.random() < 0.15,
+    )
+
+
+class TestDispatchOracle:
+    def test_selection_matches_linear_oracle(self):
+        rng = random.Random(42)
+        for workers in (1, 2, 3, 5, 8, 33, 100):
+            pool = SimulatedWorkerPool(workers)
+            pool.free_at = [
+                float(rng.randrange(0, 500)) for _ in range(workers)
+            ]
+            for _ in range(200):
+                t0 = float(rng.randrange(0, 600))
+                assert pool._earliest(t0) == pool._earliest_linear(t0)
+                assert pool._latest() == pool._latest_linear()
+                # Mutate through the indexed writer and re-compare.
+                pool._set_free(
+                    rng.randrange(workers), float(rng.randrange(0, 700))
+                )
+
+    def test_dispatch_schedule_identical_to_linear(self):
+        fast, slow = SimulatedWorkerPool(4), _LinearPool(4)
+        schedules = []
+        for pool in (fast, slow):
+            rng = random.Random(7)
+            times = []
+            for index in range(300):
+                task = _task(index, rng)
+                end = pool.dispatch(task)
+                times.append((task.started_at, end))
+                if rng.random() < 0.1:
+                    pool.burn(
+                        float(rng.randrange(0, 2000)),
+                        float(rng.randrange(10, 90)),
+                        lane=rng.random() < 0.5,
+                    )
+            schedules.append(times)
+        assert schedules[0] == schedules[1]
+        assert fast.free_at == slow.free_at
+        assert fast.busy_cycles == slow.busy_cycles
+        assert fast.tasks_run == slow.tasks_run
+
+
+# -- work stealing -----------------------------------------------------------
+
+
+class TestWorkStealing:
+    def test_make_pool_disciplines(self):
+        assert type(make_pool(2)) is SimulatedWorkerPool
+        assert type(make_pool(2, "steal")) is WorkStealingPool
+        with pytest.raises(ValueError):
+            make_pool(2, "lifo")
+
+    def test_steals_fire_under_backlog(self):
+        pool = WorkStealingPool(2)
+        # Every task homes on worker 0: without stealing worker 1
+        # would sit idle while 0 backlogs.
+        for index in range(8):
+            pool.dispatch(CheckTask(
+                task_id=index, pid=0, kind="endpoint", syscall_nr=0,
+                enqueued_at=0.0, serial_cycles=100.0,
+            ))
+        assert pool.steals > 0
+        assert pool.busy_total == 800.0
+
+    def test_affinity_holds_when_home_is_free(self):
+        pool = WorkStealingPool(2)
+        for index in range(4):
+            pool.dispatch(CheckTask(
+                task_id=index, pid=index, kind="endpoint",
+                syscall_nr=0, enqueued_at=float(1000 * index),
+                serial_cycles=50.0,
+            ))
+        assert pool.steals == 0
+        assert pool.affinity_hits == 4
+
+    def test_fleet_ledger_exact_under_stealing(self):
+        for discipline in ("spread", "steal"):
+            result = build_fleet(
+                8, 2, 1, ring_bytes=1024, pool=discipline,
+            ).run()
+            assert result.accounting["exact"], discipline
+            if discipline == "steal":
+                assert result.scheduling is not None
+                assert result.scheduling["discipline"] == "steal"
+
+
+# -- process-pool decode -----------------------------------------------------
+
+
+class TestProcessPoolDecoder:
+    def test_digest_matches_threaded(self):
+        streams = [build_stream(seed, packets=150) for seed in range(4)]
+        with ThreadedSliceDecoder(2) as thr, \
+                ProcessPoolSliceDecoder(2) as proc:
+            for data in streams:
+                a = thr.decode(data, sync=True)
+                b = proc.decode(data, sync=True)
+                assert b.cycles == a.cycles
+                assert b.synced_offset == a.synced_offset
+                assert b.segments == a.segments
+            assert proc.column_digest == thr.column_digest
+        assert proc.shm_stats()["live"] == 0
+
+    def test_objects_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolSliceDecoder(2, engine="objects")
+        with pytest.raises(ValueError):
+            make_slice_decoder("quantum", 2)
+
+    def test_heap_fallback_decodes_identically(self):
+        data = build_stream(5, packets=150)
+        with ProcessPoolSliceDecoder(2) as proc:
+            baseline = proc.decode(data, sync=True)
+        shm._force_heap = True
+        shm.reset_registry()
+        with ProcessPoolSliceDecoder(2) as degraded:
+            result = degraded.decode(data, sync=True)
+            assert degraded.shm_stats()["backend"] == "heap"
+        assert result.cycles == baseline.cycles
+        assert result.segments == baseline.segments
+        assert [
+            (shm.segment_fingerprint(seg), base)
+            for seg, base in result.columns
+        ] == [
+            (shm.segment_fingerprint(seg), base)
+            for seg, base in baseline.columns
+        ]
+
+    def test_fleet_process_pool_matches_threaded(self):
+        runs = {}
+        for decode_pool in ("thread", "process"):
+            service = build_fleet(
+                4, 2, 1, decode_mode="threads",
+                decode_pool=decode_pool,
+            )
+            runs[decode_pool] = service.run()
+        thr, proc = runs["thread"], runs["process"]
+        assert proc.schedule_digest == thr.schedule_digest
+        assert proc.accounting == thr.accounting
+        assert proc.detections == thr.detections
+        assert proc.threaded_decode["column_digest"] == (
+            thr.threaded_decode["column_digest"]
+        )
+        assert proc.threaded_decode["pool"] == "process"
+        assert proc.threaded_decode["shm"]["live"] == 0
+
+    def test_worker_crash_books_match_threaded(self):
+        """Injected worker crashes dead-letter identically whichever
+        decode backend runs underneath — the resilience books are
+        simulated state, the pool is an execution backend."""
+        runs = {}
+        for decode_pool in ("thread", "process"):
+            service = build_fleet(
+                4, 2, 1, decode_mode="threads",
+                decode_pool=decode_pool,
+                faults=FaultPlan(
+                    seed=3,
+                    worker_crash=FaultSite(probability=0.3, limit=6),
+                ),
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_base=50.0,
+                ),
+            )
+            runs[decode_pool] = service.run()
+        thr, proc = runs["thread"], runs["process"]
+        assert thr.accounting["exact"] and proc.accounting["exact"]
+        assert proc.schedule_digest == thr.schedule_digest
+        assert proc.accounting == thr.accounting
+        assert len(proc.dead_letters or []) == len(
+            thr.dead_letters or []
+        )
+        assert proc.threaded_decode["column_digest"] == (
+            thr.threaded_decode["column_digest"]
+        )
+
+    def test_unknown_decode_pool_rejected(self):
+        with pytest.raises(ValueError):
+            FleetService(FleetConfig(
+                decode_mode="threads", decode_pool="quantum"
+            ))
+
+
+# -- sharded flow index ------------------------------------------------------
+
+
+def _multi_module_labeled():
+    """A labelled ITC whose sources span several index shards."""
+    itc = ITCCFG()
+    modules = [m << MODULE_SHIFT for m in (1, 2, 5, 9)]
+    rng = random.Random(13)
+    edges = []
+    for src_base in modules:
+        for dst_base in modules:
+            for i in range(6):
+                src = src_base + 0x100 + 0x40 * i
+                dst = dst_base + 0x900 + 0x40 * ((i * 7) % 6)
+                itc.nodes.add(src)
+                itc.nodes.add(dst)
+                itc.add_edge(ITCEdge(src, dst, src + 0x10))
+                edges.append((src, dst))
+    labeled = CreditLabeledITC(itc=itc)
+    trained = rng.sample(edges, len(edges) // 2)
+    for src, dst in trained:
+        labeled.promote(src, dst, (True,))
+    return labeled, edges
+
+
+class TestShardedIndex:
+    def test_factory_picks_layout(self):
+        labeled, _ = _multi_module_labeled()
+        assert type(build_flow_index(labeled)) is FlowSearchIndex
+        sharded = build_flow_index(labeled, index_shards=4)
+        assert type(sharded) is ShardedFlowSearchIndex
+        assert sharded.shards == 4
+
+    def test_check_edge_parity(self):
+        labeled, edges = _multi_module_labeled()
+        # Memo capacity is per shard (the documented divergence from
+        # the flat index), so parity of the memoized path is asserted
+        # below eviction: capacity comfortably above the keyspace.
+        flat = FlowSearchIndex(labeled, edge_cache_entries=4096)
+        sharded = ShardedFlowSearchIndex(
+            labeled, 4, edge_cache_entries=4096
+        )
+        rng = random.Random(99)
+        probes = list(edges) + [
+            (rng.randrange(1 << 24), rng.randrange(1 << 24))
+            for _ in range(40)
+        ]
+        rng.shuffle(probes)
+        for src, dst in probes * 2:  # second pass exercises the memo
+            a = flat.check_edge(src, dst, (True,))
+            b = sharded.check_edge(src, dst, (True,))
+            assert (a.in_graph, a.credit, a.tnt_ok, a.probes) == (
+                b.in_graph, b.credit, b.tnt_ok, b.probes
+            ), (hex(src), hex(dst))
+        assert sharded.cycles == flat.cycles
+        assert sharded.memo_hits == flat.memo_hits
+        assert sharded.memo_misses == flat.memo_misses
+
+    def test_check_batch_parity(self):
+        labeled, edges = _multi_module_labeled()
+        flat = FlowSearchIndex(labeled)
+        sharded = ShardedFlowSearchIndex(labeled, 8)
+        rng = random.Random(5)
+        for _ in range(30):
+            window = rng.sample(edges, 6)
+            ips = [window[0][0]] + [dst for _, dst in window]
+            sigs = [() for _ in ips]
+            a = flat.check_batch(ips, sigs)
+            b = sharded.check_batch(ips, sigs)
+            assert a.violation == b.violation
+            assert a.low_credit == b.low_credit
+            assert a.checked == b.checked
+        assert sharded.cycles == flat.cycles
+
+    def test_promote_routes_to_owning_shard(self):
+        labeled, edges = _multi_module_labeled()
+        sharded = ShardedFlowSearchIndex(labeled, 4)
+        flat = FlowSearchIndex(labeled)
+        src, dst = edges[0]
+        before = sharded.check_edge(src, dst)
+        flat.promote(src, dst, (False,))
+        sharded.promote(src, dst, (False,))
+        owner = sharded.shard_of(src)
+        stats = sharded.shard_stats()
+        assert stats[owner]["promotions"] == 1
+        assert sum(s["promotions"] for s in stats) == 1
+        after = sharded.check_edge(src, dst, (False,))
+        ref = flat.check_edge(src, dst, (False,))
+        assert (after.credit, after.tnt_ok) == (ref.credit, ref.tnt_ok)
+        assert after.credit != before.credit or after.tnt_ok
+
+    def test_shard_stats_aggregate_exactly(self):
+        labeled, edges = _multi_module_labeled()
+        sharded = ShardedFlowSearchIndex(
+            labeled, 4, edge_cache_entries=16
+        )
+        flat = FlowSearchIndex(labeled, edge_cache_entries=16)
+        for src, dst in edges * 2:
+            sharded.check_edge(src, dst)
+            flat.check_edge(src, dst)
+        stats = sharded.edge_cache_stats()
+        shard_rows = sharded.shard_stats()
+        assert stats["hits"] == sum(s["memo_hits"] for s in shard_rows)
+        assert stats["misses"] == sum(
+            s["memo_misses"] for s in shard_rows
+        )
+        assert sum(s["hot_edges"] for s in shard_rows) == len(
+            flat._hot
+        )
+        assert sharded.memory_bytes() > 0
+
+    def test_fleet_sharded_index_is_invisible(self):
+        flat = build_fleet(4, 2, 1).run()
+        sharded = build_fleet(4, 2, 1, index_shards=8).run()
+        assert sharded.schedule_digest == flat.schedule_digest
+        assert sharded.accounting == flat.accounting
+        assert sharded.detections == flat.detections
+
+
+# -- open-loop tenants and fairness ------------------------------------------
+
+
+class TestOpenLoopFairness:
+    def test_open_mix_reports_fairness(self):
+        result = run_service(builtin_serve_config("open-mix"))
+        assert set(result.tenants) == {"steady", "bursty"}
+        for report in result.tenants.values():
+            fairness = report["fairness"]
+            assert fairness["offered"] > 0
+            assert 0.0 <= fairness["ratio"] <= 1.0
+            assert fairness["achieved"] == report["completed"]
+        payload = result.to_dict()
+        spread = payload["fairness"]["spread"]
+        ratios = payload["fairness"]["ratios"]
+        assert set(ratios) == {"steady", "bursty"}
+        assert spread == pytest.approx(
+            max(ratios.values()) - min(ratios.values())
+        )
+
+    def test_unthrottled_open_loop_absorbs_all_demand(self):
+        result = run_service(builtin_serve_config("open-mix"))
+        for report in result.tenants.values():
+            assert report["fairness"]["ratio"] == 1.0
+        assert result.to_dict()["fairness"]["spread"] == 0.0
